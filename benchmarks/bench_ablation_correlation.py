@@ -1,0 +1,55 @@
+"""Ablation B: correlation awareness on/off.
+
+DESIGN.md calls out the two correlation signals as the paper's core
+idea.  This ablation disables the *local* correlation awareness
+(plain first-fit-decreasing with stationary peak sizing instead of
+combined-peak packing) and compares energy: the correlation-aware
+local phase should consolidate onto fewer/slower servers.
+"""
+
+import pytest
+from conftest import ABLATION_HORIZON, write_report
+
+from repro.core.controller import ProposedPolicy
+from repro.core.local import allocate_first_fit
+from repro.sim.config import scaled_config
+from repro.sim.engine import SimulationEngine
+
+
+@pytest.fixture(scope="module")
+def pair():
+    config = scaled_config("small").with_horizon(ABLATION_HORIZON)
+    aware = SimulationEngine(config, ProposedPolicy()).run()
+    blind_policy = ProposedPolicy(local_allocator=allocate_first_fit)
+    blind = SimulationEngine(config, blind_policy).run()
+    return aware, blind
+
+
+def test_ablation_local_correlation(benchmark, pair, report_dir):
+    aware, blind = pair
+
+    def summarize():
+        return (
+            (aware.total_energy_gj(), aware.mean_active_servers()),
+            (blind.total_energy_gj(), blind.mean_active_servers()),
+        )
+
+    (aware_energy, aware_servers), (blind_energy, blind_servers) = benchmark(
+        summarize
+    )
+
+    lines = ["== Ablation B: local correlation awareness =="]
+    lines.append(f"{'variant':<22} {'energy GJ':>10} {'mean servers':>13}")
+    lines.append(
+        f"{'correlation-aware':<22} {aware_energy:>10.3f} {aware_servers:>13.1f}"
+    )
+    lines.append(
+        f"{'plain FFD (ablated)':<22} {blind_energy:>10.3f} {blind_servers:>13.1f}"
+    )
+    saving = 100.0 * (blind_energy - aware_energy) / blind_energy
+    lines.append(f"energy saved by correlation awareness: {saving:.1f} %")
+    write_report(report_dir, "ablation_correlation.txt", lines)
+
+    # The correlation-aware local phase must not use more servers.
+    assert aware_servers <= blind_servers + 0.5
+    assert aware_energy <= blind_energy * 1.02

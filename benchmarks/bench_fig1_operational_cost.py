@@ -1,0 +1,36 @@
+"""Fig. 1: normalized operational cost over one week, four methods.
+
+Paper: the proposed method saves 55 % vs Ener-aware, 25 % vs Pri-aware
+and 35 % vs Net-aware.  The benchmark measures the report computation
+over the shared week-long run; the shape assertions check that the
+proposed method is the cheapest and every baseline pays more.
+"""
+
+from conftest import write_report
+
+from repro.experiments.figures import PAPER_CLAIMS, fig1_operational_cost
+
+
+def test_fig1_operational_cost(benchmark, week_results, report_dir):
+    report = benchmark(fig1_operational_cost, week_results)
+
+    norms = report["normalized_cost"]
+    savings = report["measured_savings_pct"]
+    paper = PAPER_CLAIMS["fig1_cost_savings_pct"]
+
+    lines = ["== Fig. 1: normalized operational cost (one week) =="]
+    lines.append(f"{'policy':<12} {'norm. cost':>10}   savings of Proposed vs it")
+    for name in ("Proposed", "Ener-aware", "Pri-aware", "Net-aware"):
+        saving = savings.get(name)
+        saving_txt = (
+            f"measured {saving:5.1f} % (paper {paper[name]:.0f} %)"
+            if saving is not None
+            else "--"
+        )
+        lines.append(f"{name:<12} {norms[name]:>10.3f}   {saving_txt}")
+    write_report(report_dir, "fig1_operational_cost.txt", lines)
+
+    # Shape: Proposed is the cheapest method; every baseline costs more.
+    assert norms["Proposed"] == min(norms.values())
+    for name, saving in savings.items():
+        assert saving > 0.0, f"Proposed should beat {name} on cost"

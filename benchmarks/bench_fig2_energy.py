@@ -1,0 +1,47 @@
+"""Fig. 2: hourly energy consumed by the DCs over one week.
+
+Paper totals: 57 / 55 / 65 / 67 GJ for Proposed / Ener-aware /
+Pri-aware / Net-aware -- i.e. relative to Proposed: 0.965 / 1.14 / 1.18.
+Absolute GJ differ at the reproduction's scale (48 servers, synthetic
+traces), so the report compares the *relative* totals; the shape
+assertions check the ordering that drives the paper's Fig. 2 story:
+correlation-blind, network-balancing placement (Net-aware) burns the
+most, and the correlation-aware methods are within a few percent of
+each other.
+"""
+
+from conftest import write_report
+
+from repro.experiments.figures import fig2_energy
+
+
+def test_fig2_energy(benchmark, week_results, report_dir):
+    report = benchmark(fig2_energy, week_results)
+
+    totals = report["measured_totals_gj"]
+    relative = report["measured_relative"]
+    paper_rel = report["paper_relative"]
+
+    lines = ["== Fig. 2: energy consumed by DCs (one week) =="]
+    lines.append(
+        f"{'policy':<12} {'energy GJ':>10} {'rel to Proposed':>16}"
+        f" {'paper rel':>10}"
+    )
+    for name in ("Proposed", "Ener-aware", "Pri-aware", "Net-aware"):
+        lines.append(
+            f"{name:<12} {totals[name]:>10.3f} {relative[name]:>16.3f}"
+            f" {paper_rel[name]:>10.3f}"
+        )
+    hourly = report["hourly_energy_gj"]["Proposed"]
+    lines.append(
+        f"hourly series: {len(hourly)} slots, "
+        f"min {hourly.min():.4f} GJ, max {hourly.max():.4f} GJ"
+    )
+    write_report(report_dir, "fig2_energy.txt", lines)
+
+    # Shape: Net-aware is the most energy-hungry method (paper: 67 GJ,
+    # 17 % above Proposed); Ener-aware stays within ~8 % of Proposed
+    # (paper: 3.5 % below).
+    assert relative["Net-aware"] == max(relative.values())
+    assert relative["Net-aware"] > 1.05
+    assert abs(relative["Ener-aware"] - 1.0) < 0.08

@@ -1,0 +1,30 @@
+"""Fig. 4: total cost / energy / performance improvements.
+
+Paper: "up to 55, 15 and 12 % improvements for operational cost, energy
+consumption and performance" (each against the weakest baseline in that
+dimension).
+"""
+
+from conftest import write_report
+
+from repro.experiments.figures import fig4_totals
+
+
+def test_fig4_totals(benchmark, week_results, report_dir):
+    report = benchmark(fig4_totals, week_results)
+
+    measured = report["measured_pct"]
+    paper = report["paper_pct"]
+    lines = ["== Fig. 4: best-case improvements of Proposed =="]
+    lines.append(f"{'metric':<14} {'measured %':>11} {'paper %':>9}")
+    for metric in ("cost", "energy", "performance"):
+        lines.append(
+            f"{metric:<14} {measured[metric]:>11.1f} {paper[metric]:>9.0f}"
+        )
+    write_report(report_dir, "fig4_totals.txt", lines)
+
+    # Shape: Proposed improves on the weakest baseline in every
+    # dimension the paper reports.
+    assert measured["cost"] > 0.0
+    assert measured["energy"] > 0.0
+    assert measured["performance"] > 0.0

@@ -1,0 +1,34 @@
+"""Fig. 5: cost-performance trade-off.
+
+Paper: vs Pri-aware, Proposed gains 25 % cost and 12 % performance
+simultaneously; vs Net-aware it saves 35 % cost while giving up only
+~2 % performance.
+"""
+
+from conftest import write_report
+
+from repro.experiments.figures import fig5_cost_performance
+
+
+def test_fig5_cost_performance(benchmark, week_results, report_dir):
+    report = benchmark(fig5_cost_performance, week_results)
+
+    lines = ["== Fig. 5: cost-performance trade-off of Proposed =="]
+    for label, measured_key, paper_key in (
+        ("vs Pri-aware", "measured_vs_pri", "paper_vs_pri"),
+        ("vs Net-aware", "measured_vs_net", "paper_vs_net"),
+    ):
+        measured = report[measured_key]
+        paper = report[paper_key]
+        lines.append(
+            f"{label:<14} cost {measured['cost']:6.1f} % "
+            f"(paper {paper['cost']:.0f} %), performance "
+            f"{measured['performance']:6.1f} % (paper {paper['performance']:.0f} %)"
+        )
+    write_report(report_dir, "fig5_cost_performance.txt", lines)
+
+    # Shape: Proposed dominates Pri-aware on cost; vs Net-aware it
+    # trades performance for a clear cost win.
+    assert report["measured_vs_pri"]["cost"] > 0.0
+    assert report["measured_vs_net"]["cost"] > 0.0
+    assert report["measured_vs_net"]["performance"] < report["measured_vs_net"]["cost"]

@@ -1,0 +1,33 @@
+"""Fig. 6: energy-performance trade-off.
+
+Paper: vs Ener-aware, Proposed gains 6 % performance at a 3 % energy
+overhead; vs Net-aware it saves 15 % energy at ~2 % performance cost.
+"""
+
+from conftest import write_report
+
+from repro.experiments.figures import fig6_energy_performance
+
+
+def test_fig6_energy_performance(benchmark, week_results, report_dir):
+    report = benchmark(fig6_energy_performance, week_results)
+
+    lines = ["== Fig. 6: energy-performance trade-off of Proposed =="]
+    for label, measured_key, paper_key in (
+        ("vs Ener-aware", "measured_vs_ener", "paper_vs_ener"),
+        ("vs Net-aware", "measured_vs_net", "paper_vs_net"),
+    ):
+        measured = report[measured_key]
+        paper = report[paper_key]
+        lines.append(
+            f"{label:<14} energy {measured['energy']:6.1f} % "
+            f"(paper {paper['energy']:.0f} %), performance "
+            f"{measured['performance']:6.1f} % (paper {paper['performance']:.0f} %)"
+        )
+    write_report(report_dir, "fig6_energy_performance.txt", lines)
+
+    # Shape: vs Net-aware the energy win is large and positive (paper
+    # 15 %); vs Ener-aware the two methods are close on energy (paper
+    # has Proposed 3 % behind, this reproduction is within +-8 %).
+    assert report["measured_vs_net"]["energy"] > 5.0
+    assert abs(report["measured_vs_ener"]["energy"]) < 8.0

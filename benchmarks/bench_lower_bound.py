@@ -1,0 +1,33 @@
+"""Extension: LP sourcing lower bound vs each policy's realized cost.
+
+For every method's week-long run, solve the offline (perfect-knowledge)
+energy-sourcing LP for the same placement and demand trajectories.  The
+gap measures how much the paper's low-complexity rule-based green
+controller leaves on the table -- its implicit claim is that the gap is
+small once the *placement* already tracks free energy.
+"""
+
+from conftest import write_report
+
+from repro.analysis.lower_bound import operational_cost_lower_bound
+
+
+def test_lower_bound_gap(benchmark, week_results, week_config, report_dir):
+    proposed = week_results[0]
+    bound = benchmark(operational_cost_lower_bound, proposed, week_config)
+
+    lines = ["== Extension: offline sourcing LP vs realized cost =="]
+    lines.append(f"{'policy':<12} {'cost EUR':>10} {'LP bound':>10} {'gap %':>7}")
+    gaps = {}
+    for result in week_results:
+        entry = operational_cost_lower_bound(result, week_config)
+        gaps[result.policy_name] = entry.gap_pct
+        lines.append(
+            f"{result.policy_name:<12} {entry.actual_cost_eur:>10.2f} "
+            f"{entry.total_cost_eur:>10.2f} {entry.gap_pct:>7.1f}"
+        )
+    write_report(report_dir, "lower_bound.txt", lines)
+
+    # The bound must hold for every policy.
+    assert bound.total_cost_eur <= bound.actual_cost_eur + 1e-6
+    assert all(gap >= 0.0 for gap in gaps.values())

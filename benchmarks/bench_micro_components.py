@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the substrate components.
+
+Times the pieces every simulated slot exercises: trace generation,
+volume generation, the green controller, the latency model and the
+server power model.  Useful for catching performance regressions in
+the engine's hot path.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import make_specs, make_vm
+from repro.core.green import GreenController
+from repro.datacenter.datacenter import Datacenter
+from repro.datacenter.server import XEON_E5410
+from repro.network.ber import BERProcess
+from repro.network.latency import LatencyModel
+from repro.network.topology import GeoTopology
+from repro.workload.datacorr import DataCorrelationProcess
+from repro.workload.traces import TraceLibrary
+
+
+@pytest.fixture(scope="module")
+def vms():
+    return [make_vm(vm_id=i, service_id=i // 4, seed=i) for i in range(100)]
+
+
+def test_trace_generation(benchmark, vms):
+    library = TraceLibrary(steps_per_slot=60, seed=1)
+    matrix = benchmark(library.demand_matrix, vms, 5)
+    assert matrix.shape == (100, 60)
+
+
+def test_volume_generation(benchmark, vms):
+    process = DataCorrelationProcess(seed=2)
+    process.volumes(vms, 0)  # warm the pair-base cache
+    matrix = benchmark(process.volumes, vms, 1)
+    assert matrix.volumes.shape == (100, 100)
+
+
+def test_green_controller_slot(benchmark):
+    spec = make_specs()[0]
+    dc = Datacenter(spec, index=0, seed=3)
+    power = np.full(720, 900.0)  # the paper's 5 s granularity
+
+    def run():
+        dc.battery.soc_joules = dc.battery.capacity_joules
+        return GreenController(step_s=5.0).run_slot(dc, 12, power)
+
+    result = benchmark(run)
+    result.sanity_check()
+
+
+def test_destination_latency(benchmark):
+    model = LatencyModel(GeoTopology(make_specs()), BERProcess(seed=4))
+    volumes = {0: 1500.0, 1: 400.0, 2: 90.0}
+    result = benchmark(model.destination_latency, 1, volumes, 7)
+    assert result.total_s > 0.0
+
+
+def test_server_power_trace(benchmark):
+    rng = np.random.default_rng(5)
+    load = rng.uniform(0.0, 8.0, 720)
+    trace = benchmark(XEON_E5410.power_trace, 1, load)
+    assert trace.shape == (720,)

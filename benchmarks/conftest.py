@@ -1,0 +1,108 @@
+"""Shared fixtures for the benchmark harness.
+
+The six figures of the paper all come from ONE one-week comparison run
+of the four methods, so a session-scoped fixture executes it once (at
+the `small` scale recorded in DESIGN.md -- same 3-site fleet shape as
+Table I, 48 servers, ~150 simultaneous VMs, 60 s control sampling) and
+every figure benchmark derives its report from it.
+
+Each benchmark also writes its paper-vs-measured report under
+``benchmarks/reports/`` so a run leaves an auditable record.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.datacenter.datacenter import DatacenterSpec
+from repro.datacenter.price import TwoLevelTariff
+from repro.datacenter.pue import FreeCoolingPUE
+from repro.experiments.runner import run_comparison
+from repro.sim.config import scaled_config
+from repro.workload.vm import AppType, VirtualMachine
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+#: Horizon used by the ablation benchmarks (shorter than the figures'
+#: full week to keep the suite quick).
+ABLATION_HORIZON = 48
+
+
+@pytest.fixture(scope="session")
+def week_config():
+    return scaled_config("small")
+
+
+@pytest.fixture(scope="session")
+def week_results(week_config):
+    """The one-week, four-method comparison behind Figs. 1-6."""
+    return run_comparison(week_config)
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+def write_report(report_dir: pathlib.Path, name: str, lines: list[str]) -> None:
+    """Persist one figure's paper-vs-measured report."""
+    path = report_dir / name
+    path.write_text("\n".join(lines) + "\n")
+    print()
+    for line in lines:
+        print(line)
+
+
+def make_vm(
+    vm_id: int = 0,
+    app_type: AppType = AppType.WEB,
+    cores: float = 2.0,
+    image_gb: float = 4.0,
+    arrival_slot: int = 0,
+    departure_slot: int = 1000,
+    service_id: int = 0,
+    phase_hours: float = 0.0,
+    seed: int = 0,
+) -> VirtualMachine:
+    """VM factory for synthetic scaling benchmarks."""
+    return VirtualMachine(
+        vm_id=vm_id,
+        app_type=app_type,
+        cores=cores,
+        image_gb=image_gb,
+        arrival_slot=arrival_slot,
+        departure_slot=departure_slot,
+        service_id=service_id,
+        phase_hours=phase_hours,
+        seed=seed,
+    )
+
+
+def make_specs(n_servers: tuple[int, int, int] = (6, 4, 2)) -> list[DatacenterSpec]:
+    """Three-site fleet used by the synthetic scaling benchmarks."""
+    sites = [
+        ("Lisbon", 38.7223, -9.1393, 0.0, 0.24, 0.12),
+        ("Zurich", 47.3769, 8.5417, 1.0, 0.20, 0.10),
+        ("Helsinki", 60.1699, 24.9384, 2.0, 0.16, 0.08),
+    ]
+    specs = []
+    for (name, lat, lon, tz, peak, off), servers in zip(sites, n_servers):
+        specs.append(
+            DatacenterSpec(
+                name=name,
+                latitude=lat,
+                longitude=lon,
+                n_servers=servers,
+                pv_kwp=0.1 * servers,
+                battery_kwh=0.64 * servers,
+                tariff=TwoLevelTariff(
+                    peak_price=peak, offpeak_price=off, tz_offset_hours=tz
+                ),
+                pue_model=FreeCoolingPUE(tz_offset_hours=tz),
+                tz_offset_hours=tz,
+            )
+        )
+    return specs

@@ -1,0 +1,75 @@
+"""Full reproduction driver: all figures from one week-long comparison.
+
+Runs the paper's complete evaluation protocol (Section V) and prints
+every figure's paper-vs-measured report.  By default this uses the
+laptop-scale fleet (48 servers, 60 s sampling, ~70 s runtime); pass
+``--paper`` for the literal Table I configuration (1500/1000/500
+servers, 5 s sampling -- hours of runtime, for workstations).
+
+Run:  python examples/full_week.py [--paper] [--horizon N]
+"""
+
+import argparse
+
+from repro.experiments.figures import (
+    fig1_operational_cost,
+    fig2_energy,
+    fig3_response_time,
+    fig4_totals,
+    fig5_cost_performance,
+    fig6_energy_performance,
+    render,
+    table1_rows,
+)
+from repro.experiments.runner import run_comparison
+from repro.sim.config import paper_config, scaled_config
+from repro.sim.metrics import format_comparison
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="use the literal Table I fleet (very slow)",
+    )
+    parser.add_argument(
+        "--horizon", type=int, default=None, help="override horizon in slots"
+    )
+    parser.add_argument(
+        "--alpha", type=float, default=0.5, help="Eq. 5 trade-off weight"
+    )
+    args = parser.parse_args()
+
+    config = paper_config() if args.paper else scaled_config("small")
+    if args.horizon:
+        config = config.with_horizon(args.horizon)
+
+    table = table1_rows(config)
+    print("== Table I (measured config) ==")
+    for row in table["measured"]:
+        print(
+            f"  {row['dc']} {row['site']:<10} servers={row['servers']:<5} "
+            f"PV={row['pv_kwp']:.0f} kWp battery={row['battery_kwh']:.0f} kWh"
+        )
+
+    print(f"\nRunning the 4-method comparison over {config.horizon_slots} "
+          f"slots (alpha={args.alpha})...\n")
+    results = run_comparison(config, alpha=args.alpha)
+
+    print(format_comparison(results))
+    print()
+    for report in (
+        fig1_operational_cost(results),
+        fig2_energy(results),
+        fig3_response_time(results),
+        fig4_totals(results),
+        fig5_cost_performance(results),
+        fig6_energy_performance(results),
+    ):
+        print(render(report))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Alpha sweep: the energy/performance trade-off as a Pareto curve.
+
+Eq. 5's alpha weighs data-correlation attraction (performance) against
+CPU-correlation repulsion (energy).  Figs. 5-6 of the paper show two
+points of this trade-off space; sweeping alpha draws the whole curve
+and marks the Pareto-efficient settings.
+
+Run:  python examples/pareto_tradeoff.py [horizon_slots]
+"""
+
+import sys
+
+from repro.analysis.pareto import alpha_sweep, pareto_front
+from repro.sim.config import scaled_config
+
+
+def main() -> None:
+    horizon = int(sys.argv[1]) if len(sys.argv) > 1 else 36
+    config = scaled_config("small").with_horizon(horizon)
+    alphas = (0.0, 0.25, 0.5, 0.75, 1.0)
+    print(f"Sweeping alpha over {alphas} ({horizon} slots each)...\n")
+
+    points = alpha_sweep(config, alphas)
+    front = {point.alpha for point in pareto_front(points)}
+
+    print(f"{'alpha':>6} {'cost EUR':>10} {'energy GJ':>10} {'p99 RT s':>9}  front")
+    for point in points:
+        marker = "  *" if point.alpha in front else ""
+        print(
+            f"{point.alpha:>6.2f} {point.cost_eur:>10.2f} "
+            f"{point.energy_gj:>10.3f} {point.response_p99_s:>9.4f}{marker}"
+        )
+
+    # ASCII scatter: energy (x) vs response time (y).
+    xs = [point.energy_gj for point in points]
+    ys = [point.response_p99_s for point in points]
+    width, height = 56, 14
+    x0, x1 = min(xs), max(xs) or 1.0
+    y0, y1 = min(ys), max(ys) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for point in points:
+        col = int((point.energy_gj - x0) / max(x1 - x0, 1e-12) * (width - 1))
+        row = int((point.response_p99_s - y0) / max(y1 - y0, 1e-12) * (height - 1))
+        glyph = "*" if point.alpha in front else "o"
+        grid[height - 1 - row][col] = glyph
+    print("\np99 response time (up) vs energy (right); * = Pareto front")
+    for line in grid:
+        print("  |" + "".join(line))
+    print("  +" + "-" * width)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Compare the four methods of the paper on one workload.
+
+Reproduces the Section V-B comparison protocol at example scale: the
+proposed two-phase controller against Ener-aware (Kim DATE'13),
+Pri-aware (Gu ICNC'15) and Net-aware (Biran CCGRID'12), all sharing
+the same workload, weather, prices and channel realizations, and the
+same green controller.
+
+Run:  python examples/policy_comparison.py [horizon_slots]
+"""
+
+import sys
+
+from repro import run_policies, scaled_config
+from repro.baselines import EnerAwarePolicy, NetAwarePolicy, PriAwarePolicy
+from repro.core.controller import ProposedPolicy
+from repro.sim.metrics import (
+    cost_improvements,
+    energy_improvements,
+    format_comparison,
+    performance_improvements,
+)
+
+
+def main() -> None:
+    horizon = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    config = scaled_config("small").with_horizon(horizon)
+    print(f"Running 4 policies over {horizon} slots "
+          f"({len(config.specs)} DCs)...\n")
+
+    results = run_policies(
+        config,
+        [ProposedPolicy(), EnerAwarePolicy(), PriAwarePolicy(), NetAwarePolicy()],
+    )
+
+    print(format_comparison(results))
+
+    print("\nImprovements of Proposed (positive = Proposed better):")
+    print(f"  cost savings:   {cost_improvements(results)}")
+    print(f"  energy savings: {energy_improvements(results)}")
+    print(f"  perf (p99 RT):  {performance_improvements(results)}")
+
+    print(
+        "\nPaper (full Table I scale, one week): 55 % cost vs Ener-aware, "
+        "25 % vs Pri-aware, 35 % vs Net-aware; 15 % energy and 12 % "
+        "performance vs the weakest baselines."
+    )
+
+
+if __name__ == "__main__":
+    main()

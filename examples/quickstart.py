@@ -1,0 +1,40 @@
+"""Quickstart: run the proposed placement over one simulated day.
+
+Builds the scaled 3-site fleet (same shape as the paper's Table I),
+runs the two-phase multi-objective controller for 24 hourly slots and
+prints the operational ledger.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ProposedPolicy, SimulationEngine, scaled_config
+
+
+def main() -> None:
+    config = scaled_config("small").with_horizon(24)
+    print(f"Fleet: {[spec.name for spec in config.specs]}")
+    print(f"Servers per DC: {[spec.n_servers for spec in config.specs]}")
+    print(f"Horizon: {config.horizon_slots} hourly slots\n")
+
+    engine = SimulationEngine(config, ProposedPolicy())
+    result = engine.run()
+
+    summary = result.summary()
+    print("--- one day with the Proposed controller ---")
+    print(f"operational cost:        {summary['cost_eur']:8.2f} EUR")
+    print(f"facility energy:         {summary['energy_gj']:8.3f} GJ")
+    print(f"grid energy:             {summary['grid_energy_gj']:8.3f} GJ")
+    print(f"renewable utilization:   {summary['renewable_utilization']:8.1%}")
+    print(f"mean response time:      {summary['mean_rt_s']:8.4f} s")
+    print(f"worst response time:     {summary['worst_rt_s']:8.4f} s")
+    print(f"inter-DC migrations:     {summary['migrations']:8d}")
+    print(f"mean active servers:     {summary['mean_active_servers']:8.1f}")
+
+    print("\nhourly grid cost (EUR):")
+    for slot, cost in enumerate(result.hourly_cost_eur()):
+        bar = "#" * int(40 * cost / max(result.hourly_cost_eur().max(), 1e-9))
+        print(f"  h{slot:02d} {cost:6.3f} |{bar}")
+
+
+if __name__ == "__main__":
+    main()

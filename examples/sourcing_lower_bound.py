@@ -1,0 +1,44 @@
+"""How optimal is the rule-based green controller?
+
+The paper argues for a deliberately simple online controller (Section
+IV-B.3): the global phase plans with forecasts, and a rule-based
+compensator absorbs the forecast error.  This example quantifies the
+claim by solving the offline energy-sourcing problem (an LP with
+perfect knowledge of demand and PV for the whole horizon) and
+comparing each policy's realized grid cost against it.
+
+Run:  python examples/sourcing_lower_bound.py [horizon_slots]
+"""
+
+import sys
+
+from repro.analysis.lower_bound import operational_cost_lower_bound
+from repro.experiments.runner import run_comparison
+from repro.sim.config import scaled_config
+
+
+def main() -> None:
+    horizon = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    config = scaled_config("small").with_horizon(horizon)
+    print(f"Running the 4-method comparison over {horizon} slots...\n")
+    results = run_comparison(config)
+
+    print(f"{'policy':<12} {'cost EUR':>10} {'LP bound':>10} {'gap %':>7}")
+    for result in results:
+        bound = operational_cost_lower_bound(result, config)
+        print(
+            f"{result.policy_name:<12} {bound.actual_cost_eur:>10.2f} "
+            f"{bound.total_cost_eur:>10.2f} {bound.gap_pct:>7.1f}"
+        )
+
+    print(
+        "\nReading: the gap is the cost of sourcing *myopically* (the"
+        "\nrule-based controller) instead of with perfect knowledge, for"
+        "\nthe same placement decisions.  A small gap for 'Proposed'"
+        "\nsupports the paper's two-level design: once placement follows"
+        "\nforecasted free energy, simple source rules are nearly optimal."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Alpha-sweep Pareto analysis of the energy/performance trade-off.
+
+Eq. 5's alpha is the paper's explicit trade-off knob (attraction /
+performance vs repulsion / energy).  Figs. 5-6 show two points of the
+trade-off space; this module sweeps alpha and extracts the
+Pareto-efficient frontier over (cost, energy, worst-case response
+time), turning the paper's two scatter plots into full curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.controller import ProposedPolicy
+from repro.core.forces import ForceParameters
+from repro.sim.config import ExperimentConfig
+from repro.sim.engine import SimulationEngine
+
+#: Percentile used as the SLA-relevant response-time statistic.
+WORST_CASE_PERCENTILE = 99.0
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One alpha's outcome in the objective space."""
+
+    alpha: float
+    cost_eur: float
+    energy_gj: float
+    response_p99_s: float
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Weak Pareto dominance on (cost, energy, response time)."""
+        at_least_as_good = (
+            self.cost_eur <= other.cost_eur
+            and self.energy_gj <= other.energy_gj
+            and self.response_p99_s <= other.response_p99_s
+        )
+        strictly_better = (
+            self.cost_eur < other.cost_eur
+            or self.energy_gj < other.energy_gj
+            or self.response_p99_s < other.response_p99_s
+        )
+        return at_least_as_good and strictly_better
+
+
+def alpha_sweep(
+    config: ExperimentConfig,
+    alphas: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9),
+) -> list[ParetoPoint]:
+    """Run the proposed controller once per alpha over one workload."""
+    points = []
+    for alpha in alphas:
+        policy = ProposedPolicy(force_params=ForceParameters(alpha=alpha))
+        result = SimulationEngine(config, policy).run()
+        points.append(
+            ParetoPoint(
+                alpha=alpha,
+                cost_eur=result.total_grid_cost_eur(),
+                energy_gj=result.total_energy_gj(),
+                response_p99_s=result.percentile_response_s(
+                    WORST_CASE_PERCENTILE
+                ),
+            )
+        )
+    return points
+
+
+def pareto_front(points: list[ParetoPoint]) -> list[ParetoPoint]:
+    """The non-dominated subset, sorted by alpha."""
+    front = [
+        point
+        for point in points
+        if not any(other.dominates(point) for other in points)
+    ]
+    return sorted(front, key=lambda point: point.alpha)

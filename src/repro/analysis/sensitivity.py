@@ -1,0 +1,106 @@
+"""Configuration sensitivity sweeps.
+
+Generic helpers that rerun the proposed controller while varying one
+infrastructure parameter (battery size, migration QoS window, PV
+size), producing tidy rows for tables, examples and the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.controller import ProposedPolicy
+from repro.sim.config import ExperimentConfig
+from repro.sim.engine import SimulationEngine
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One sweep point's headline outcomes."""
+
+    parameter: str
+    value: float
+    cost_eur: float
+    energy_gj: float
+    renewable_utilization: float
+    migrations: int
+    response_p99_s: float
+
+
+def _run(config: ExperimentConfig, parameter: str, value: float) -> SweepRow:
+    result = SimulationEngine(config, ProposedPolicy()).run()
+    return SweepRow(
+        parameter=parameter,
+        value=value,
+        cost_eur=result.total_grid_cost_eur(),
+        energy_gj=result.total_energy_gj(),
+        renewable_utilization=result.renewable_utilization(),
+        migrations=result.total_migrations(),
+        response_p99_s=result.percentile_response_s(99.0),
+    )
+
+
+def sweep_battery_scale(
+    config: ExperimentConfig,
+    scales: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0),
+) -> list[SweepRow]:
+    """Rerun with every DC's battery scaled by each factor.
+
+    Measures how much of the proposed method's cost advantage comes
+    from battery arbitrage (Table I sizing = scale 1.0).
+    """
+    rows = []
+    for scale in scales:
+        specs = tuple(
+            dataclasses.replace(spec, battery_kwh=spec.battery_kwh * scale)
+            for spec in config.specs
+        )
+        scaled = dataclasses.replace(config, specs=specs)
+        rows.append(_run(scaled, "battery_scale", scale))
+    return rows
+
+
+def sweep_qos(
+    config: ExperimentConfig,
+    qos_levels: tuple[float, ...] = (0.9995, 0.995, 0.98, 0.95),
+) -> list[SweepRow]:
+    """Rerun with different migration QoS windows (Algorithm 2)."""
+    rows = []
+    for qos in qos_levels:
+        scaled = dataclasses.replace(config, qos=qos)
+        rows.append(_run(scaled, "qos", qos))
+    return rows
+
+
+def sweep_pv_scale(
+    config: ExperimentConfig,
+    scales: tuple[float, ...] = (0.0, 1.0, 2.0),
+) -> list[SweepRow]:
+    """Rerun with every DC's PV array scaled by each factor."""
+    rows = []
+    for scale in scales:
+        specs = tuple(
+            dataclasses.replace(spec, pv_kwp=spec.pv_kwp * scale)
+            for spec in config.specs
+        )
+        scaled = dataclasses.replace(config, specs=specs)
+        rows.append(_run(scaled, "pv_scale", scale))
+    return rows
+
+
+def format_rows(rows: list[SweepRow]) -> str:
+    """Plain-text table of sweep rows."""
+    header = (
+        f"{'parameter':<14} {'value':>8} {'cost EUR':>10} {'energy GJ':>10} "
+        f"{'renew':>6} {'migs':>6} {'p99 RT s':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.parameter:<14} {row.value:>8.3f} {row.cost_eur:>10.2f} "
+            f"{row.energy_gj:>10.3f} {row.renewable_utilization:>6.3f} "
+            f"{row.migrations:>6d} {row.response_p99_s:>9.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""State-of-the-art baselines the paper compares against (Section V-B).
+
+* :class:`~repro.baselines.pri_aware.PriAwarePolicy` -- cost-aware
+  placement (Gu et al., ICNC 2015): pack VMs into the DCs with the
+  lowest current grid price.
+* :class:`~repro.baselines.ener_aware.EnerAwarePolicy` -- energy-aware
+  allocation (Kim et al., DATE 2013): FFD clustering across DCs plus
+  correlation-aware local consolidation.
+* :class:`~repro.baselines.net_aware.NetAwarePolicy` -- network-aware
+  placement (Biran et al., CCGRID 2012, GH heuristic): keep
+  communicating groups together while balancing traffic and load
+  across DCs.
+
+All baselines share the engine's green controller and respect the same
+migration latency window, per the paper's experimental protocol.
+"""
+
+from repro.baselines.ener_aware import EnerAwarePolicy
+from repro.baselines.net_aware import NetAwarePolicy
+from repro.baselines.pri_aware import PriAwarePolicy
+
+__all__ = ["EnerAwarePolicy", "NetAwarePolicy", "PriAwarePolicy"]

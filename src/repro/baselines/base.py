@@ -1,0 +1,142 @@
+"""Shared machinery for baseline policies.
+
+Every baseline produces a *desired* DC per VM; the shared helpers here
+
+* enforce the same hard migration-latency window the proposed method
+  honors (accumulating migration volumes per link and checking Eq. 1
+  per destination, like Algorithm 2 does), and
+* build per-DC server allocations with a pluggable local allocator.
+
+This keeps the comparison fair: baselines differ only in their
+*placement decision rule*, not in the physics they are subjected to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.local import ServerAllocation
+from repro.core.migration import MigrationMove, destination_within_constraint
+from repro.sim.state import FleetPlacement, SlotObservation
+from repro.units import gb_to_mb
+
+
+def enforce_migration_constraint(
+    observation: SlotObservation,
+    desired: np.ndarray,
+) -> tuple[dict[int, int], list[MigrationMove], list[int]]:
+    """Turn a desired assignment into a latency-feasible one.
+
+    New VMs take their desired DC directly (no WAN copy).  Existing VMs
+    migrate in ascending image-size order (cheap moves first, which
+    maximizes the number of executed migrations under the window);
+    each candidate is checked against the *accumulated* migration
+    volumes converging on its destination (Eq. 1).
+
+    Returns
+    -------
+    (assignment, moves, rejected_vm_ids)
+    """
+    vms = observation.vms
+    n_dcs = observation.n_dcs
+    desired = np.asarray(desired, dtype=int)
+    if desired.shape != (len(vms),):
+        raise ValueError("desired must have one DC per alive VM")
+    if len(vms) and (desired.min() < 0 or desired.max() >= n_dcs):
+        raise ValueError("desired DCs out of range")
+
+    previous = observation.previous_array()
+    assignment: dict[int, int] = {}
+    movers: list[int] = []
+    for row, vm in enumerate(vms):
+        if previous[row] < 0:
+            assignment[vm.vm_id] = int(desired[row])
+        else:
+            assignment[vm.vm_id] = int(previous[row])
+            if desired[row] != previous[row]:
+                movers.append(row)
+
+    movers.sort(key=lambda row: (vms[row].image_gb, vms[row].vm_id))
+    volumes_mb = np.zeros((n_dcs, n_dcs))
+    moves: list[MigrationMove] = []
+    rejected: list[int] = []
+
+    for row in movers:
+        vm = vms[row]
+        src, dst = int(previous[row]), int(desired[row])
+        image_mb = gb_to_mb(vm.image_gb)
+        volumes_mb[src, dst] += image_mb
+        ok, _ = destination_within_constraint(
+            observation.latency_model,
+            volumes_mb,
+            dst,
+            observation.slot,
+            observation.latency_constraint_s,
+        )
+        if ok:
+            assignment[vm.vm_id] = dst
+            moves.append(
+                MigrationMove(vm_id=vm.vm_id, src_dc=src, dst_dc=dst, image_mb=image_mb)
+            )
+        else:
+            volumes_mb[src, dst] -= image_mb
+            rejected.append(vm.vm_id)
+
+    return assignment, moves, rejected
+
+
+def build_allocations(
+    observation: SlotObservation,
+    assignment: dict[int, int],
+    allocator,
+) -> list[ServerAllocation]:
+    """Run the local ``allocator`` per DC over the final assignment.
+
+    ``allocator`` has the signature of
+    :func:`repro.core.local.allocate_first_fit`.
+    """
+    allocations = []
+    for dc in observation.dcs:
+        member_rows = [
+            row
+            for row, vm in enumerate(observation.vms)
+            if assignment[vm.vm_id] == dc.index
+        ]
+        allocations.append(
+            allocator(
+                [observation.vms[row].vm_id for row in member_rows],
+                observation.demand_traces[member_rows],
+                dc.spec.server_model,
+                dc.spec.n_servers,
+            )
+        )
+    return allocations
+
+
+def finish_placement(
+    observation: SlotObservation,
+    desired: np.ndarray,
+    allocator,
+    diagnostics: dict | None = None,
+) -> FleetPlacement:
+    """Constraint enforcement + local allocation, in one call."""
+    assignment, moves, rejected = enforce_migration_constraint(observation, desired)
+    placement = FleetPlacement(
+        assignment=assignment,
+        allocations=build_allocations(observation, assignment, allocator),
+        moves=moves,
+        diagnostics=dict(diagnostics or {}),
+    )
+    placement.diagnostics.setdefault("rejected_migrations", rejected)
+    return placement
+
+
+def dc_capacities_cores(
+    observation: SlotObservation, headroom: float = 0.9
+) -> np.ndarray:
+    """Physical core capacity per DC, derated by a packing headroom."""
+    if not 0.0 < headroom <= 1.0:
+        raise ValueError("headroom must be in (0, 1]")
+    return np.array(
+        [dc.spec.total_capacity_cores * headroom for dc in observation.dcs]
+    )

@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+* ``table1``     -- print the Table I fleet specification
+* ``compare``    -- run the four-method comparison and print the table
+* ``figures``    -- regenerate every figure report (Figs. 1-6)
+* ``alpha``      -- sweep Eq. 5's alpha and print the Pareto front
+* ``bound``      -- compare each policy's cost against the LP oracle
+* ``sweep``      -- sensitivity sweeps (battery / qos / pv)
+* ``scenarios``  -- workload-mix scenario study (scale-out/mixed/hpc)
+* ``export``     -- dump every figure's data as CSV
+
+All commands accept ``--scale {small,tiny}``, ``--horizon N`` and
+``--seed N``; runs are deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.lower_bound import operational_cost_lower_bound
+from repro.analysis.pareto import alpha_sweep, pareto_front
+from repro.analysis.sensitivity import (
+    format_rows,
+    sweep_battery_scale,
+    sweep_pv_scale,
+    sweep_qos,
+)
+from repro.experiments.figures import (
+    fig1_operational_cost,
+    fig2_energy,
+    fig3_response_time,
+    fig4_totals,
+    fig5_cost_performance,
+    fig6_energy_performance,
+    render,
+    table1_rows,
+)
+from repro.experiments.export import export_all
+from repro.experiments.runner import run_comparison
+from repro.experiments.scenarios import format_outcomes, run_scenarios
+from repro.reporting import bar_chart, histogram, series_panel
+from repro.sim.config import ExperimentConfig, paper_config, scaled_config
+from repro.sim.metrics import format_comparison
+
+
+def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    if args.scale == "paper":
+        config = paper_config(seed=args.seed)
+    else:
+        config = scaled_config(args.scale, seed=args.seed)
+    if args.horizon:
+        config = config.with_horizon(args.horizon)
+    return config
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Print the Table I fleet specification."""
+    report = table1_rows(_config_from(args))
+    print("Table I: DCs number of servers and energy sources")
+    for row in report["measured"]:
+        print(
+            f"  {row['dc']} {row['site']:<10} servers={row['servers']:<6} "
+            f"PV={row['pv_kwp']:.1f} kWp  battery={row['battery_kwh']:.1f} kWh"
+        )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Run the four-method comparison and print the summary table."""
+    config = _config_from(args)
+    results = run_comparison(config, alpha=args.alpha)
+    print(format_comparison(results))
+    print()
+    print("normalized operational cost:")
+    print(
+        bar_chart(
+            {
+                result.policy_name: result.total_grid_cost_eur()
+                for result in results
+            },
+            fmt="{:.2f}",
+        )
+    )
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Regenerate every figure report (Figs. 1-6) plus ASCII panels."""
+    config = _config_from(args)
+    results = run_comparison(config, alpha=args.alpha)
+    for report in (
+        fig1_operational_cost(results),
+        fig2_energy(results),
+        fig3_response_time(results),
+        fig4_totals(results),
+        fig5_cost_performance(results),
+        fig6_energy_performance(results),
+    ):
+        print(render(report))
+        print()
+    print("hourly energy (GJ) per method:")
+    print(
+        series_panel(
+            {
+                result.policy_name: result.hourly_energy_joules() / 1e9
+                for result in results
+            }
+        )
+    )
+    print()
+    print("response-time distribution (Proposed, seconds):")
+    proposed = results[0]
+    print(histogram(proposed.response_samples()))
+    return 0
+
+
+def cmd_alpha(args: argparse.Namespace) -> int:
+    """Sweep Eq. 5's alpha and mark the Pareto-efficient settings."""
+    config = _config_from(args)
+    alphas = tuple(float(a) for a in args.alphas.split(","))
+    points = alpha_sweep(config, alphas)
+    front = {point.alpha for point in pareto_front(points)}
+    print(
+        f"{'alpha':>6} {'cost EUR':>10} {'energy GJ':>10} "
+        f"{'p99 RT s':>9}  Pareto"
+    )
+    for point in points:
+        marker = "*" if point.alpha in front else ""
+        print(
+            f"{point.alpha:>6.2f} {point.cost_eur:>10.2f} "
+            f"{point.energy_gj:>10.3f} {point.response_p99_s:>9.4f}  {marker}"
+        )
+    return 0
+
+
+def cmd_bound(args: argparse.Namespace) -> int:
+    """Compare each policy's realized cost against the LP oracle."""
+    config = _config_from(args)
+    results = run_comparison(config, alpha=args.alpha)
+    print(
+        f"{'policy':<12} {'cost EUR':>10} {'LP bound':>10} {'gap %':>7}"
+    )
+    for result in results:
+        bound = operational_cost_lower_bound(result, config)
+        print(
+            f"{result.policy_name:<12} {bound.actual_cost_eur:>10.2f} "
+            f"{bound.total_cost_eur:>10.2f} {bound.gap_pct:>7.1f}"
+        )
+    print(
+        "\n(gap = how far the realized sourcing cost sits above the"
+        " perfect-knowledge offline optimum for the same placement)"
+    )
+    return 0
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """Run the workload-mix scenario study."""
+    config = _config_from(args)
+    outcomes = run_scenarios(config, alpha=args.alpha)
+    print(format_outcomes(outcomes))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    """Write every figure's data series to CSV files."""
+    config = _config_from(args)
+    results = run_comparison(config, alpha=args.alpha)
+    written = export_all(results, args.directory)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a sensitivity sweep (battery / qos / pv)."""
+    config = _config_from(args)
+    sweeps = {
+        "battery": sweep_battery_scale,
+        "qos": sweep_qos,
+        "pv": sweep_pv_scale,
+    }
+    rows = sweeps[args.parameter](config)
+    print(format_rows(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Pahlevan et al., DATE 2016.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--scale",
+            choices=("tiny", "small", "paper"),
+            default="small",
+            help="fleet scale (paper = literal Table I; slow)",
+        )
+        sub.add_argument("--horizon", type=int, default=None)
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--alpha", type=float, default=0.5)
+
+    table1 = subparsers.add_parser("table1", help="print Table I")
+    add_common(table1)
+    table1.set_defaults(func=cmd_table1)
+
+    compare = subparsers.add_parser("compare", help="four-method comparison")
+    add_common(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    figures = subparsers.add_parser("figures", help="regenerate Figs. 1-6")
+    add_common(figures)
+    figures.set_defaults(func=cmd_figures)
+
+    alpha = subparsers.add_parser("alpha", help="Eq. 5 alpha Pareto sweep")
+    add_common(alpha)
+    alpha.add_argument(
+        "--alphas", default="0.1,0.3,0.5,0.7,0.9", help="comma-separated"
+    )
+    alpha.set_defaults(func=cmd_alpha)
+
+    bound = subparsers.add_parser("bound", help="LP cost lower bound")
+    add_common(bound)
+    bound.set_defaults(func=cmd_bound)
+
+    sweep = subparsers.add_parser("sweep", help="sensitivity sweeps")
+    add_common(sweep)
+    sweep.add_argument("parameter", choices=("battery", "qos", "pv"))
+    sweep.set_defaults(func=cmd_sweep)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="workload-mix scenario study"
+    )
+    add_common(scenarios)
+    scenarios.set_defaults(func=cmd_scenarios)
+
+    export = subparsers.add_parser(
+        "export", help="write figure data to CSV files"
+    )
+    add_common(export)
+    export.add_argument("directory", help="output directory for the CSVs")
+    export.set_defaults(func=cmd_export)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,196 @@
+"""The complete two-phase multi-objective placement policy ("Proposed").
+
+Global phase (Section IV-B.1):
+
+1. force-directed 2D embedding from CPU-load and data correlations
+   (Eqs. 5-7), warm-started from the previous slot's final positions;
+2. per-DC capacity caps from battery, renewable forecast, grid price
+   and a last-value demand predictor;
+3. capacity-constrained modified k-means over the plane;
+4. migration revision under the hard latency window (Algorithm 2).
+
+Local phase (Section IV-B.2): correlation-aware consolidation with DVFS
+per DC.
+
+The policy is stateful across slots: embedding positions and the last
+cluster membership persist ("the final location of all the VMs becomes
+the initial position for the next time slot").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.capacity import compute_capacity_caps
+from repro.core.correlation import attraction_matrix, repulsion_matrix
+from repro.core.forces import ForceDirectedEmbedding, ForceParameters
+from repro.core.kmeans import constrained_kmeans, warm_start_centroids
+from repro.core.local import allocate_correlation_aware
+from repro.core.migration import revise_migrations
+from repro.seeding import rng_for
+from repro.sim.state import FleetPlacement, PlacementPolicy, SlotObservation
+
+
+class ProposedPolicy(PlacementPolicy):
+    """The paper's two-phase multi-objective VM placement.
+
+    Parameters
+    ----------
+    force_params:
+        Embedding tunables; ``alpha`` is the Eq. 5 energy/performance
+        trade-off weight.
+    kmeans_iterations:
+        Cap on modified k-means rounds per slot.
+    stickiness:
+        Placement inertia passed to the constrained k-means; suppresses
+        marginal reassignments (and migration churn) while letting the
+        caps still pull load toward free/cheap energy.
+    local_allocator:
+        The local-phase allocator (default: the paper's
+        correlation-aware consolidation).  Swapping in
+        :func:`repro.core.local.allocate_first_fit` ablates the local
+        correlation awareness.
+    seed:
+        Root for the deterministic placement of brand-new points in the
+        plane.
+    """
+
+    name = "Proposed"
+
+    def __init__(
+        self,
+        force_params: ForceParameters | None = None,
+        kmeans_iterations: int = 25,
+        stickiness: float = 0.0,
+        local_allocator=allocate_correlation_aware,
+        seed: int = 0,
+    ) -> None:
+        self.force_params = force_params or ForceParameters()
+        self.kmeans_iterations = kmeans_iterations
+        self.stickiness = stickiness
+        self.local_allocator = local_allocator
+        self.seed = seed
+        self._embedding = ForceDirectedEmbedding(self.force_params)
+        self._positions: dict[int, np.ndarray] = {}
+
+    def reset(self) -> None:
+        """Forget the plane between runs."""
+        self._positions = {}
+
+    def _initial_positions(self, observation: SlotObservation) -> np.ndarray:
+        """Previous final positions; new VMs spawn near service peers.
+
+        A new VM starts at the centroid of its already-embedded service
+        peers (plus deterministic jitter) so the attraction force does
+        not have to drag it across the whole plane; a VM of a brand-new
+        service starts at a deterministic pseudo-random location.
+        """
+        service_points: dict[int, list[np.ndarray]] = {}
+        for vm in observation.vms:
+            if vm.vm_id in self._positions:
+                service_points.setdefault(vm.service_id, []).append(
+                    self._positions[vm.vm_id]
+                )
+        positions = np.zeros((len(observation.vms), 2))
+        for row, vm in enumerate(observation.vms):
+            known = self._positions.get(vm.vm_id)
+            if known is not None:
+                positions[row] = known
+                continue
+            rng = rng_for(self.seed, "spawn", vm.vm_id)
+            jitter = rng.normal(0.0, 0.25, size=2)
+            peers = service_points.get(vm.service_id)
+            if peers:
+                positions[row] = np.mean(peers, axis=0) + jitter
+            else:
+                positions[row] = rng.uniform(-2.0, 2.0, size=2) + jitter
+        return positions
+
+    def place(self, observation: SlotObservation) -> FleetPlacement:
+        """Run both phases for one slot."""
+        vms = observation.vms
+        n_dcs = observation.n_dcs
+
+        if not vms:
+            return FleetPlacement(
+                assignment={},
+                allocations=[
+                    allocate_correlation_aware(
+                        [], np.zeros((0, 1)), dc.spec.server_model, dc.spec.n_servers
+                    )
+                    for dc in observation.dcs
+                ],
+            )
+
+        # -- Step 1: repulsion/attraction embedding (Eqs. 5-7).
+        attraction = attraction_matrix(observation.volumes.volumes)
+        repulsion = repulsion_matrix(observation.demand_traces)
+        start = self._initial_positions(observation)
+        embedding = self._embedding.run(start, attraction, repulsion)
+
+        # -- Step 2: capacity caps + modified k-means.
+        caps = compute_capacity_caps(observation.dcs, observation.slot)
+        caps_cores = np.array([cap.cap_cores for cap in caps])
+        loads = observation.loads()
+        previous = observation.previous_array()
+        centroids = warm_start_centroids(embedding.positions, previous, n_dcs)
+        clustering = constrained_kmeans(
+            embedding.positions,
+            loads,
+            caps_cores,
+            centroids,
+            max_iterations=self.kmeans_iterations,
+            current_assignment=previous,
+            stickiness=self.stickiness,
+        )
+
+        # -- Step 3: migration revision (Algorithm 2).
+        plan = revise_migrations(
+            vms=vms,
+            target=clustering.assignment,
+            previous=previous,
+            positions=embedding.positions,
+            centroids=clustering.centroids,
+            loads=loads,
+            caps_cores=caps_cores,
+            latency_model=observation.latency_model,
+            slot=observation.slot,
+            latency_constraint_s=observation.latency_constraint_s,
+        )
+
+        # -- Local phase: correlation-aware allocation per DC.
+        allocations = []
+        for dc in observation.dcs:
+            member_rows = [
+                row
+                for row, vm in enumerate(vms)
+                if plan.assignment[vm.vm_id] == dc.index
+            ]
+            allocations.append(
+                self.local_allocator(
+                    [vms[row].vm_id for row in member_rows],
+                    observation.demand_traces[member_rows],
+                    dc.spec.server_model,
+                    dc.spec.n_servers,
+                )
+            )
+
+        # Persist the plane for the next slot.
+        self._positions = {
+            vm.vm_id: embedding.positions[row].copy()
+            for row, vm in enumerate(vms)
+        }
+
+        return FleetPlacement(
+            assignment=plan.assignment,
+            allocations=allocations,
+            moves=plan.moves,
+            diagnostics={
+                "embedding_iterations": embedding.iterations,
+                "embedding_converged": embedding.converged,
+                "capacity_caps": caps,
+                "kmeans_overflow": clustering.overflow,
+                "rejected_migrations": plan.rejected_vm_ids,
+                "migration_latencies": plan.destination_latencies_s,
+            },
+        )

@@ -1,0 +1,191 @@
+"""Force-directed 2D embedding of VMs (Eqs. 5-7).
+
+Step 1 of the global phase: every VM is a point in a 2D plane; highly
+data-correlated VMs attract, highly CPU-load-correlated VMs repel.  The
+resultant force on each point displaces it each iteration
+(``displacement = 0.5 * force * t^2``, Eq. 6), and the process stops
+when the progress metric ``CostAR`` (Eq. 7) decays or a maximum
+iteration count is reached.
+
+Sign conventions (see DESIGN.md):
+
+* ``F_t[i, j] < 0`` -- net attraction between i and j,
+* ``F_t[i, j] > 0`` -- net repulsion,
+* the force that j exerts on i acts along the unit vector from j to i,
+  scaled by ``F_t[j, i]``; attraction therefore pulls i toward j.
+
+``CostAR_k = sum_{i,j} F_t[i,j] * (d_k[i,j] - d_{k-1}[i,j])`` is
+*positive* when motion agrees with the forces (attracting pairs got
+closer, repelling pairs separated), so it measures progress per
+iteration.  The stop rule fires at the first iteration whose progress
+falls below the previous iteration's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.correlation import total_force_matrix
+
+
+@dataclass(frozen=True)
+class ForceParameters:
+    """Tunables of the embedding.
+
+    Attributes
+    ----------
+    alpha:
+        Eq. 5 energy/performance weight (1.0 = pure attraction /
+        performance, 0.0 = pure repulsion / energy).
+    time_step:
+        The displacement period ``t`` of Eq. 6.
+    max_iterations:
+        Hard cap "to avoid a convergence time overhead" (paper).
+    normalize_forces:
+        Divide each resultant force by (N-1) so the displacement scale
+        does not grow with the number of VMs.  The paper is silent on
+        this; without it the plane's scale depends on fleet size.
+    min_distance:
+        Coincident points are separated by a deterministic jitter of
+        this magnitude before computing directions.
+    """
+
+    alpha: float = 0.5
+    time_step: float = 1.0
+    max_iterations: int = 50
+    normalize_forces: bool = True
+    min_distance: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if self.time_step <= 0:
+            raise ValueError("time_step must be positive")
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+
+
+@dataclass
+class EmbeddingResult:
+    """Output of one embedding run.
+
+    Attributes
+    ----------
+    positions:
+        Final point coordinates, shape ``(n_vms, 2)``.
+    iterations:
+        Number of displacement iterations executed.
+    cost_history:
+        ``CostAR`` value per iteration (Eq. 7).
+    converged:
+        True when the stop rule (progress decay) fired before the
+        iteration cap.
+    """
+
+    positions: np.ndarray
+    iterations: int
+    cost_history: list[float] = field(default_factory=list)
+    converged: bool = False
+
+
+def pairwise_distances(positions: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix of 2D points, shape ``(n, n)``."""
+    deltas = positions[:, None, :] - positions[None, :, :]
+    return np.sqrt((deltas**2).sum(axis=2))
+
+
+class ForceDirectedEmbedding:
+    """Runs the repulsion/attraction phase over a force matrix."""
+
+    def __init__(self, params: ForceParameters | None = None) -> None:
+        self.params = params or ForceParameters()
+
+    def total_forces(
+        self, attraction: np.ndarray, repulsion: np.ndarray
+    ) -> np.ndarray:
+        """Eq. 5 with this embedding's alpha."""
+        return total_force_matrix(attraction, repulsion, self.params.alpha)
+
+    def _resultant(self, positions: np.ndarray, forces: np.ndarray) -> np.ndarray:
+        """Resultant force vector on each point (Eq. 6's F_x, F_y).
+
+        ``forces[j, i]`` scales the unit vector from j to i: positive
+        entries push i away from j, negative pull it toward j.
+        """
+        n = positions.shape[0]
+        deltas = positions[:, None, :] - positions[None, :, :]  # i <- j
+        dists = np.sqrt((deltas**2).sum(axis=2))
+        # Deterministic jitter for coincident points.
+        tiny = dists < self.params.min_distance
+        np.fill_diagonal(tiny, False)
+        if tiny.any():
+            ii, jj = np.nonzero(tiny)
+            angle = 2.0 * np.pi * ((ii * 31 + jj * 17) % 101) / 101.0
+            deltas[ii, jj, 0] = np.cos(angle) * self.params.min_distance
+            deltas[ii, jj, 1] = np.sin(angle) * self.params.min_distance
+            dists[ii, jj] = self.params.min_distance
+        np.fill_diagonal(dists, 1.0)  # avoid 0/0 on the diagonal
+        units = deltas / dists[:, :, None]
+        # Sum over j of F[j, i] * unit(j -> i).
+        resultant = np.einsum("ji,ijk->ik", forces, units)
+        if self.params.normalize_forces and n > 1:
+            resultant /= n - 1
+        return resultant
+
+    def run(
+        self,
+        positions: np.ndarray,
+        attraction: np.ndarray,
+        repulsion: np.ndarray,
+    ) -> EmbeddingResult:
+        """Iterate Eq. 6 until the Eq. 7 stop rule or the iteration cap.
+
+        Parameters
+        ----------
+        positions:
+            Initial coordinates ``(n, 2)`` -- the final positions of the
+            previous slot for existing VMs (paper: "the final location
+            of all the VMs becomes the initial position for the next
+            time slot").
+        attraction / repulsion:
+            Pairwise force components (see
+            :mod:`repro.core.correlation`).
+        """
+        positions = np.array(positions, dtype=float, copy=True)
+        n = positions.shape[0]
+        if positions.shape != (n, 2):
+            raise ValueError("positions must have shape (n, 2)")
+        forces = self.total_forces(attraction, repulsion)
+        if forces.shape != (n, n):
+            raise ValueError("force matrix shape must match positions")
+        if n < 2:
+            return EmbeddingResult(positions=positions, iterations=0, converged=True)
+
+        gain = 0.5 * self.params.time_step**2
+        previous_distances = pairwise_distances(positions)
+        cost_history: list[float] = []
+        converged = False
+        iterations = 0
+
+        for _ in range(self.params.max_iterations):
+            resultant = self._resultant(positions, forces)
+            positions += gain * resultant
+            iterations += 1
+
+            distances = pairwise_distances(positions)
+            cost = float((forces * (distances - previous_distances)).sum())
+            previous_distances = distances
+            cost_history.append(cost)
+
+            if len(cost_history) >= 2 and cost < cost_history[-2]:
+                converged = True
+                break
+
+        return EmbeddingResult(
+            positions=positions,
+            iterations=iterations,
+            cost_history=cost_history,
+            converged=converged,
+        )

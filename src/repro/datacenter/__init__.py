@@ -1,0 +1,36 @@
+"""Data-center substrate: servers, cooling, energy sources, tariffs.
+
+Models every physical element of Table I and Section V-A:
+
+* Intel Xeon E5410-class servers with two DVFS levels and a linear
+  utilization power model (:mod:`repro.datacenter.server`),
+* a free-cooling, time-varying PUE model (:mod:`repro.datacenter.pue`),
+* photovoltaic arrays and a WCMA-style forecast
+  (:mod:`repro.datacenter.pv`, :mod:`repro.datacenter.forecast`),
+* lithium-ion battery banks with a depth-of-discharge limit
+  (:mod:`repro.datacenter.battery`),
+* two-level electricity tariffs with per-site time zones
+  (:mod:`repro.datacenter.price`),
+* the :class:`~repro.datacenter.datacenter.Datacenter` aggregate.
+"""
+
+from repro.datacenter.battery import Battery
+from repro.datacenter.datacenter import Datacenter, DatacenterSpec
+from repro.datacenter.forecast import WCMAForecaster
+from repro.datacenter.price import TwoLevelTariff
+from repro.datacenter.pue import FreeCoolingPUE
+from repro.datacenter.pv import PVArray
+from repro.datacenter.server import XEON_E5410, FrequencyLevel, ServerModel
+
+__all__ = [
+    "Battery",
+    "Datacenter",
+    "DatacenterSpec",
+    "FreeCoolingPUE",
+    "FrequencyLevel",
+    "PVArray",
+    "ServerModel",
+    "TwoLevelTariff",
+    "WCMAForecaster",
+    "XEON_E5410",
+]

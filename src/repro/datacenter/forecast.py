@@ -1,0 +1,93 @@
+"""Renewable energy forecasting (WCMA-style).
+
+The paper implements "the algorithm in [21]" (Bergonzini et al.,
+Microelectronics Journal 2010) to forecast PV intake.  That algorithm --
+Weather-Conditioned Moving Average (WCMA) -- predicts the next interval
+as the historical mean profile for that time of day, scaled by a factor
+measuring how today's conditions compare to the profile so far.
+
+:class:`WCMAForecaster` keeps (a) an exponential per-hour-of-day profile
+of observed energy and (b) a short window of recent actual/profile
+ratios (the "GAP" factor).  It degrades gracefully before any history
+exists by falling back to the array's clear-sky prediction.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.datacenter.pv import PVArray
+from repro.units import SECONDS_PER_HOUR
+
+#: Number of slots per day (the profile's resolution).
+SLOTS_PER_DAY = 24
+
+
+class WCMAForecaster:
+    """Weather-conditioned moving-average PV forecaster.
+
+    Parameters
+    ----------
+    array:
+        The PV installation to forecast (provides the clear-sky prior).
+    profile_alpha:
+        EWMA weight for updating the per-hour historical profile.
+    gap_window:
+        Number of recent slots whose actual/profile ratio conditions
+        the prediction.
+    """
+
+    def __init__(
+        self,
+        array: PVArray,
+        profile_alpha: float = 0.3,
+        gap_window: int = 3,
+    ) -> None:
+        if not 0.0 < profile_alpha <= 1.0:
+            raise ValueError("profile_alpha must be in (0, 1]")
+        if gap_window < 1:
+            raise ValueError("gap_window must be >= 1")
+        self.array = array
+        self.profile_alpha = profile_alpha
+        self._profile: dict[int, float] = {}
+        self._ratios: deque[float] = deque(maxlen=gap_window)
+
+    def _clear_sky_energy(self, slot: int) -> float:
+        """Clear-sky energy prior for ``slot`` (Joules)."""
+        times = slot * SECONDS_PER_HOUR + np.linspace(0.0, SECONDS_PER_HOUR, 13)
+        fractions = self.array.clear_sky_fraction(times)
+        watts = self.array.kwp * 1000.0 * fractions
+        return float(np.trapezoid(watts, times))
+
+    def _profile_energy(self, slot: int) -> float:
+        """Historical profile energy for the slot's hour of day."""
+        hour = slot % SLOTS_PER_DAY
+        if hour in self._profile:
+            return self._profile[hour]
+        return self._clear_sky_energy(slot)
+
+    def record(self, slot: int, actual_joules: float) -> None:
+        """Feed the realized generation of a finished slot."""
+        if actual_joules < 0:
+            raise ValueError("actual_joules must be non-negative")
+        hour = slot % SLOTS_PER_DAY
+        prior = self._profile_energy(slot)
+        self._profile[hour] = (
+            (1.0 - self.profile_alpha) * prior + self.profile_alpha * actual_joules
+        )
+        if prior > 1.0:  # ignore night slots: ratio is meaningless
+            self._ratios.append(actual_joules / prior)
+
+    def gap_factor(self) -> float:
+        """Current weather-conditioning factor (1.0 = profile weather)."""
+        if not self._ratios:
+            return 1.0
+        weights = np.arange(1, len(self._ratios) + 1, dtype=float)
+        return float(np.average(np.asarray(self._ratios), weights=weights))
+
+    def forecast(self, slot: int) -> float:
+        """Predicted generation (Joules) for the upcoming ``slot``."""
+        prediction = self._profile_energy(slot) * self.gap_factor()
+        return max(prediction, 0.0)

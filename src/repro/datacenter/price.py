@@ -1,0 +1,72 @@
+"""Electricity tariffs.
+
+Section V-A uses a "two-level real electricity price scenario" per DC,
+with the sites spread over three time zones (Lisbon UTC+0, Zurich UTC+1,
+Helsinki UTC+2).  :class:`TwoLevelTariff` models exactly that: a peak
+price during a local-time daytime window and an off-peak price
+otherwise.  The phase shift between sites is what the cost-aware
+policies exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import SECONDS_PER_HOUR, joules_to_kwh
+
+
+@dataclass(frozen=True)
+class TwoLevelTariff:
+    """Two-level (peak / off-peak) electricity tariff.
+
+    Attributes
+    ----------
+    peak_price:
+        Price during the peak window, EUR per kWh.
+    offpeak_price:
+        Price outside the window, EUR per kWh.
+    peak_start_hour / peak_end_hour:
+        Local-time peak window (start inclusive, end exclusive).
+    tz_offset_hours:
+        Site time zone relative to simulation time (UTC).
+    """
+
+    peak_price: float = 0.22
+    offpeak_price: float = 0.11
+    peak_start_hour: float = 8.0
+    peak_end_hour: float = 22.0
+    tz_offset_hours: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peak_price < 0 or self.offpeak_price < 0:
+            raise ValueError("prices must be non-negative")
+        if not 0.0 <= self.peak_start_hour < 24.0:
+            raise ValueError("peak_start_hour must be in [0, 24)")
+        if not 0.0 < self.peak_end_hour <= 24.0:
+            raise ValueError("peak_end_hour must be in (0, 24]")
+
+    def local_hour(self, time_s: float) -> float:
+        """Local hour of day at absolute UTC seconds."""
+        return (time_s / SECONDS_PER_HOUR + self.tz_offset_hours) % 24.0
+
+    def is_peak(self, time_s: float) -> bool:
+        """Whether the peak tariff applies at absolute UTC seconds."""
+        hour = self.local_hour(time_s)
+        if self.peak_start_hour <= self.peak_end_hour:
+            return self.peak_start_hour <= hour < self.peak_end_hour
+        # Window wrapping midnight.
+        return hour >= self.peak_start_hour or hour < self.peak_end_hour
+
+    def price_per_kwh(self, time_s: float) -> float:
+        """EUR per kWh at absolute UTC seconds."""
+        return self.peak_price if self.is_peak(time_s) else self.offpeak_price
+
+    def price_at_slot(self, slot: int) -> float:
+        """EUR per kWh during hour-slot ``slot`` (evaluated mid-slot)."""
+        return self.price_per_kwh((slot + 0.5) * SECONDS_PER_HOUR)
+
+    def cost_of(self, joules: float, time_s: float) -> float:
+        """Cost in EUR of drawing ``joules`` from the grid at a time."""
+        if joules < 0:
+            raise ValueError("energy must be non-negative")
+        return joules_to_kwh(joules) * self.price_per_kwh(time_s)

@@ -1,0 +1,139 @@
+"""Server and power model.
+
+Section V-A targets "an Intel Xeon E5410 server consisting of 8 cores
+and two frequency levels (2.0 GHz and 2.3 GHz)", with the power model of
+Pedram et al. (ICPPW 2010): power grows linearly with utilization
+between an idle floor and a peak, both frequency-dependent.
+
+The paper does not print the coefficients; the values below are chosen
+for an E5410-class dual-socket machine (see DESIGN.md "Interpretation
+decisions").  Absolute Joules differ from the authors' testbed, but the
+comparisons the paper makes are relative between methods that share this
+model.
+
+Capacity convention: CPU demand is measured in *core units at the
+highest frequency*.  A server at a lower frequency offers
+``cores * f / f_max`` core units, which is what makes DVFS an
+energy/performance knob for the local controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FrequencyLevel:
+    """One DVFS operating point.
+
+    Attributes
+    ----------
+    ghz:
+        Clock frequency in GHz.
+    idle_watts:
+        Power draw of an active (non-sleeping) server with no load.
+    peak_watts:
+        Power draw at 100 % utilization.
+    """
+
+    ghz: float
+    idle_watts: float
+    peak_watts: float
+
+    def __post_init__(self) -> None:
+        if self.ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if not 0 <= self.idle_watts <= self.peak_watts:
+            raise ValueError("need 0 <= idle_watts <= peak_watts")
+
+
+@dataclass(frozen=True)
+class ServerModel:
+    """A homogeneous server type with a set of DVFS levels.
+
+    Levels must be sorted by ascending frequency.
+    """
+
+    name: str
+    cores: int
+    levels: tuple[FrequencyLevel, ...]
+    sleep_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("cores must be >= 1")
+        if not self.levels:
+            raise ValueError("at least one frequency level required")
+        freqs = [level.ghz for level in self.levels]
+        if freqs != sorted(freqs):
+            raise ValueError("levels must be sorted by ascending frequency")
+        if self.sleep_watts < 0:
+            raise ValueError("sleep_watts must be non-negative")
+
+    @property
+    def max_ghz(self) -> float:
+        """Highest available clock frequency."""
+        return self.levels[-1].ghz
+
+    @property
+    def max_capacity(self) -> float:
+        """Core units offered at the highest frequency."""
+        return float(self.cores)
+
+    def capacity(self, level: int) -> float:
+        """Core units offered at frequency ``level`` (index into levels)."""
+        return self.cores * self.levels[level].ghz / self.max_ghz
+
+    def power(self, level: int, load_cores: float) -> float:
+        """Power draw (W) at ``level`` under ``load_cores`` demand.
+
+        Load is clipped to the level's capacity: demand beyond capacity
+        is performance loss, not extra power.
+        """
+        if load_cores < 0:
+            raise ValueError("load must be non-negative")
+        spec = self.levels[level]
+        utilization = min(load_cores / self.capacity(level), 1.0)
+        return spec.idle_watts + (spec.peak_watts - spec.idle_watts) * utilization
+
+    def power_trace(self, level: int, load_trace: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`power` over a demand trace (core units)."""
+        spec = self.levels[level]
+        utilization = np.clip(load_trace / self.capacity(level), 0.0, 1.0)
+        return spec.idle_watts + (spec.peak_watts - spec.idle_watts) * utilization
+
+    def min_level_for(self, load_cores: float) -> int:
+        """Lowest frequency level whose capacity covers ``load_cores``.
+
+        Falls back to the highest level when even that cannot cover the
+        demand (the caller then accepts saturation).
+        """
+        for index in range(len(self.levels)):
+            if self.capacity(index) >= load_cores:
+                return index
+        return len(self.levels) - 1
+
+    def energy_per_core_hour(self, level: int) -> float:
+        """Marginal Joules to run one core unit for one hour at ``level``.
+
+        Used to convert DC energy caps (Joules) into CPU-load capacity
+        for the clustering phase.
+        """
+        spec = self.levels[level]
+        marginal_watts = (spec.peak_watts - spec.idle_watts) / self.capacity(level)
+        return marginal_watts * 3600.0
+
+
+#: The paper's reference server: Intel Xeon E5410, 8 cores, DVFS levels
+#: at 2.0 and 2.3 GHz.  Power coefficients estimated for that class of
+#: machine (dual-socket Harpertown, see module docstring).
+XEON_E5410 = ServerModel(
+    name="Intel Xeon E5410",
+    cores=8,
+    levels=(
+        FrequencyLevel(ghz=2.0, idle_watts=165.0, peak_watts=230.0),
+        FrequencyLevel(ghz=2.3, idle_watts=180.0, peak_watts=265.0),
+    ),
+)

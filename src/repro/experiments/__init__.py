@@ -1,0 +1,43 @@
+"""Per-figure experiment runners and paper-vs-measured reporting.
+
+One entry point per table/figure of the paper's evaluation (Section V):
+
+* :func:`~repro.experiments.figures.table1_rows` -- Table I,
+* :func:`~repro.experiments.figures.fig1_operational_cost`,
+* :func:`~repro.experiments.figures.fig2_energy`,
+* :func:`~repro.experiments.figures.fig3_response_time`,
+* :func:`~repro.experiments.figures.fig4_totals`,
+* :func:`~repro.experiments.figures.fig5_cost_performance`,
+* :func:`~repro.experiments.figures.fig6_energy_performance`.
+
+:func:`~repro.experiments.runner.run_comparison` executes the four
+policies over one workload realization (cached per config within a
+process, since all figures share the same week-long run).
+"""
+
+from repro.experiments.figures import (
+    PAPER_CLAIMS,
+    fig1_operational_cost,
+    fig2_energy,
+    fig3_response_time,
+    fig4_totals,
+    fig5_cost_performance,
+    fig6_energy_performance,
+    table1_rows,
+)
+from repro.experiments.export import export_all
+from repro.experiments.runner import default_policies, run_comparison
+
+__all__ = [
+    "PAPER_CLAIMS",
+    "default_policies",
+    "export_all",
+    "fig1_operational_cost",
+    "fig2_energy",
+    "fig3_response_time",
+    "fig4_totals",
+    "fig5_cost_performance",
+    "fig6_energy_performance",
+    "run_comparison",
+    "table1_rows",
+]

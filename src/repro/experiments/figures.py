@@ -1,0 +1,274 @@
+"""Figure/table reproduction: computation + paper-vs-measured reports.
+
+Every function takes the shared comparison results (see
+:func:`repro.experiments.runner.run_comparison`) and returns a
+structured dictionary with (a) the measured quantities that regenerate
+the figure and (b) the paper's reported numbers for side-by-side
+comparison.  ``render(report)`` turns any of them into printable text.
+
+Paper numbers come from Section V-B:
+
+* Fig. 1 -- cost savings of Proposed: 55 % vs Ener-aware, 25 % vs
+  Pri-aware, 35 % vs Net-aware;
+* Fig. 2 -- weekly energy: 57 / 55 / 65 / 67 GJ for Proposed /
+  Ener-aware / Pri-aware / Net-aware;
+* Fig. 3 -- Proposed & Net-aware: higher mean, lower variance, lower
+  worst case; Ener & Pri: lower mean, heavy tail;
+* Fig. 4 -- up to 55 % cost, 15 % energy, 12 % performance;
+* Fig. 5 -- vs Pri-aware: 25 % cost and 12 % performance; vs
+  Net-aware: 35 % cost at only 2 % performance degradation;
+* Fig. 6 -- vs Ener-aware: 6 % performance better, 3 % energy worse;
+  vs Net-aware: 15 % energy better, 2 % performance worse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.config import ExperimentConfig
+from repro.sim.metrics import (
+    improvement_pct,
+    normalized_costs,
+    response_time_pdf,
+)
+from repro.sim.results import RunResult
+from repro.units import joules_to_gj
+
+#: The paper's headline numbers, keyed by figure.
+PAPER_CLAIMS = {
+    "fig1_cost_savings_pct": {"Ener-aware": 55.0, "Pri-aware": 25.0, "Net-aware": 35.0},
+    "fig2_energy_gj": {
+        "Proposed": 57.0,
+        "Ener-aware": 55.0,
+        "Pri-aware": 65.0,
+        "Net-aware": 67.0,
+    },
+    "fig4_totals_pct": {"cost": 55.0, "energy": 15.0, "performance": 12.0},
+    "fig5_vs_pri": {"cost": 25.0, "performance": 12.0},
+    "fig5_vs_net": {"cost": 35.0, "performance": -2.0},
+    "fig6_vs_ener": {"energy": -3.0, "performance": 6.0},
+    "fig6_vs_net": {"energy": 15.0, "performance": -2.0},
+}
+
+#: Percentile used as the SLA-relevant "worst case" response time.
+WORST_CASE_PERCENTILE = 99.0
+
+
+def _by_name(results: list[RunResult]) -> dict[str, RunResult]:
+    return {result.policy_name: result for result in results}
+
+
+def _require(results: list[RunResult], *names: str) -> dict[str, RunResult]:
+    by_name = _by_name(results)
+    missing = [name for name in names if name not in by_name]
+    if missing:
+        raise KeyError(f"comparison results missing policies: {missing}")
+    return by_name
+
+
+def table1_rows(config: ExperimentConfig) -> dict:
+    """Table I: fleet and energy-source specification."""
+    rows = []
+    for index, spec in enumerate(config.specs):
+        rows.append(
+            {
+                "dc": f"DC{index + 1}",
+                "site": spec.name,
+                "servers": spec.n_servers,
+                "pv_kwp": spec.pv_kwp,
+                "battery_kwh": spec.battery_kwh,
+            }
+        )
+    paper_rows = [
+        {"dc": "DC1", "servers": 1500, "pv_kwp": 150.0, "battery_kwh": 960.0},
+        {"dc": "DC2", "servers": 1000, "pv_kwp": 100.0, "battery_kwh": 720.0},
+        {"dc": "DC3", "servers": 500, "pv_kwp": 50.0, "battery_kwh": 480.0},
+    ]
+    return {"id": "Table I", "measured": rows, "paper": paper_rows}
+
+
+def fig1_operational_cost(results: list[RunResult]) -> dict:
+    """Fig. 1: normalized operational cost + savings of Proposed."""
+    by_name = _require(results, "Proposed", "Ener-aware", "Pri-aware", "Net-aware")
+    proposed_cost = by_name["Proposed"].total_grid_cost_eur()
+    savings = {
+        name: improvement_pct(result.total_grid_cost_eur(), proposed_cost)
+        for name, result in by_name.items()
+        if name != "Proposed"
+    }
+    return {
+        "id": "Fig. 1",
+        "normalized_cost": normalized_costs(results),
+        "weekly_cost_eur": {
+            name: result.total_grid_cost_eur() for name, result in by_name.items()
+        },
+        "hourly_cost_eur": {
+            name: result.hourly_cost_eur() for name, result in by_name.items()
+        },
+        "measured_savings_pct": savings,
+        "paper_savings_pct": PAPER_CLAIMS["fig1_cost_savings_pct"],
+    }
+
+
+def fig2_energy(results: list[RunResult]) -> dict:
+    """Fig. 2: hourly DC energy and weekly totals (GJ)."""
+    by_name = _require(results, "Proposed", "Ener-aware", "Pri-aware", "Net-aware")
+    totals = {name: result.total_energy_gj() for name, result in by_name.items()}
+    proposed = totals["Proposed"]
+    relative = {
+        name: total / proposed if proposed else float("nan")
+        for name, total in totals.items()
+    }
+    paper_totals = PAPER_CLAIMS["fig2_energy_gj"]
+    paper_relative = {
+        name: value / paper_totals["Proposed"] for name, value in paper_totals.items()
+    }
+    return {
+        "id": "Fig. 2",
+        "hourly_energy_gj": {
+            name: result.hourly_energy_joules() / 1e9
+            for name, result in by_name.items()
+        },
+        "measured_totals_gj": totals,
+        "measured_relative": relative,
+        "paper_totals_gj": paper_totals,
+        "paper_relative": paper_relative,
+    }
+
+
+def fig3_response_time(results: list[RunResult], bins: int = 40) -> dict:
+    """Fig. 3: PDF of normalized response time + distribution stats."""
+    by_name = _require(results, "Proposed", "Ener-aware", "Pri-aware", "Net-aware")
+    samples = {name: result.response_samples() for name, result in by_name.items()}
+    upper = max(
+        (float(array.max()) for array in samples.values() if array.size),
+        default=1.0,
+    )
+    pdfs = {
+        name: response_time_pdf(array, bins=bins, upper=upper)
+        for name, array in samples.items()
+    }
+    stats = {}
+    for name, array in samples.items():
+        if array.size:
+            stats[name] = {
+                "mean": float(array.mean()) / upper,
+                "std": float(array.std()) / upper,
+                "worst": float(array.max()) / upper,
+                "p99": float(np.percentile(array, WORST_CASE_PERCENTILE)) / upper,
+            }
+        else:
+            stats[name] = {"mean": 0.0, "std": 0.0, "worst": 0.0, "p99": 0.0}
+    return {
+        "id": "Fig. 3",
+        "normalization_upper_s": upper,
+        "pdfs": pdfs,
+        "stats": stats,
+        "paper_qualitative": (
+            "Proposed/Net-aware: higher mean, lower variance, lower worst "
+            "case; Ener/Pri-aware: lower mean, bigger fluctuations"
+        ),
+    }
+
+
+def _performance_of(result: RunResult) -> float:
+    return result.percentile_response_s(WORST_CASE_PERCENTILE)
+
+
+def fig4_totals(results: list[RunResult]) -> dict:
+    """Fig. 4: best-case cost/energy/performance improvements."""
+    by_name = _require(results, "Proposed", "Ener-aware", "Pri-aware", "Net-aware")
+    proposed = by_name["Proposed"]
+    others = [r for name, r in by_name.items() if name != "Proposed"]
+    cost_best = max(
+        improvement_pct(r.total_grid_cost_eur(), proposed.total_grid_cost_eur())
+        for r in others
+    )
+    energy_best = max(
+        improvement_pct(
+            r.total_facility_energy_joules(),
+            proposed.total_facility_energy_joules(),
+        )
+        for r in others
+    )
+    perf_best = max(
+        improvement_pct(_performance_of(r), _performance_of(proposed))
+        for r in others
+    )
+    return {
+        "id": "Fig. 4",
+        "measured_pct": {
+            "cost": cost_best,
+            "energy": energy_best,
+            "performance": perf_best,
+        },
+        "paper_pct": PAPER_CLAIMS["fig4_totals_pct"],
+    }
+
+
+def fig5_cost_performance(results: list[RunResult]) -> dict:
+    """Fig. 5: cost-performance trade-off vs Pri-aware and Net-aware."""
+    by_name = _require(results, "Proposed", "Pri-aware", "Net-aware")
+    proposed = by_name["Proposed"]
+
+    def trade_off(other: RunResult) -> dict[str, float]:
+        return {
+            "cost": improvement_pct(
+                other.total_grid_cost_eur(), proposed.total_grid_cost_eur()
+            ),
+            "performance": improvement_pct(
+                _performance_of(other), _performance_of(proposed)
+            ),
+        }
+
+    return {
+        "id": "Fig. 5",
+        "measured_vs_pri": trade_off(by_name["Pri-aware"]),
+        "measured_vs_net": trade_off(by_name["Net-aware"]),
+        "paper_vs_pri": PAPER_CLAIMS["fig5_vs_pri"],
+        "paper_vs_net": PAPER_CLAIMS["fig5_vs_net"],
+    }
+
+
+def fig6_energy_performance(results: list[RunResult]) -> dict:
+    """Fig. 6: energy-performance trade-off vs Ener-aware and Net-aware."""
+    by_name = _require(results, "Proposed", "Ener-aware", "Net-aware")
+    proposed = by_name["Proposed"]
+
+    def trade_off(other: RunResult) -> dict[str, float]:
+        return {
+            "energy": improvement_pct(
+                other.total_facility_energy_joules(),
+                proposed.total_facility_energy_joules(),
+            ),
+            "performance": improvement_pct(
+                _performance_of(other), _performance_of(proposed)
+            ),
+        }
+
+    return {
+        "id": "Fig. 6",
+        "measured_vs_ener": trade_off(by_name["Ener-aware"]),
+        "measured_vs_net": trade_off(by_name["Net-aware"]),
+        "paper_vs_ener": PAPER_CLAIMS["fig6_vs_ener"],
+        "paper_vs_net": PAPER_CLAIMS["fig6_vs_net"],
+    }
+
+
+def render(report: dict) -> str:
+    """Human-readable text for any figure report."""
+    lines = [f"== {report['id']} =="]
+    for key, value in report.items():
+        if key == "id":
+            continue
+        if isinstance(value, dict) and all(
+            np.isscalar(v) or isinstance(v, (int, float)) for v in value.values()
+        ):
+            body = ", ".join(
+                f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in value.items()
+            )
+            lines.append(f"  {key}: {body}")
+        elif isinstance(value, str):
+            lines.append(f"  {key}: {value}")
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Shared comparison runner for the figure experiments.
+
+All six figures of the paper come from the *same* one-week run of the
+four methods, so the runner caches results per configuration within
+the process; the benchmark files each regenerate their figure from the
+shared run and only micro-benchmark their own reporting path.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import EnerAwarePolicy, NetAwarePolicy, PriAwarePolicy
+from repro.core.controller import ProposedPolicy
+from repro.core.forces import ForceParameters
+from repro.sim.config import ExperimentConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import RunResult
+from repro.sim.state import PlacementPolicy
+
+#: Process-wide cache: config fingerprint -> results.
+_CACHE: dict[tuple, list[RunResult]] = {}
+
+
+def default_policies(alpha: float = 0.5) -> list[PlacementPolicy]:
+    """The paper's four methods, in its reporting order."""
+    return [
+        ProposedPolicy(force_params=ForceParameters(alpha=alpha)),
+        EnerAwarePolicy(),
+        PriAwarePolicy(),
+        NetAwarePolicy(),
+    ]
+
+
+def _fingerprint(config: ExperimentConfig, alpha: float) -> tuple:
+    return (
+        config.name,
+        config.horizon_slots,
+        config.steps_per_slot,
+        config.seed,
+        config.qos,
+        tuple(spec.n_servers for spec in config.specs),
+        alpha,
+    )
+
+
+def run_comparison(
+    config: ExperimentConfig,
+    alpha: float = 0.5,
+    use_cache: bool = True,
+) -> list[RunResult]:
+    """Run the four methods over one workload realization.
+
+    Parameters
+    ----------
+    config:
+        The experiment configuration (every policy sees the same
+        workload, weather and channel realizations derived from
+        ``config.seed``).
+    alpha:
+        Eq. 5 trade-off weight for the proposed method.
+    use_cache:
+        Reuse a previous identical run within this process.
+    """
+    key = _fingerprint(config, alpha)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    results = [
+        SimulationEngine(config, policy).run()
+        for policy in default_policies(alpha)
+    ]
+    if use_cache:
+        _CACHE[key] = results
+    return results
+
+
+def clear_cache() -> None:
+    """Drop all cached comparison runs (mainly for tests)."""
+    _CACHE.clear()

@@ -1,0 +1,109 @@
+"""Workload scenario studies.
+
+The paper's introduction motivates the design with the contrast between
+scale-out services (fast-changing, strongly data-correlated) and HPC
+jobs (sustained, weakly communicating).  These scenario builders vary
+the archetype mix so the correlation-aware advantage can be measured as
+a function of workload composition -- an extension experiment beyond
+the paper's single mixed workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.experiments.runner import run_comparison
+from repro.sim.config import ExperimentConfig
+from repro.sim.metrics import improvement_pct
+from repro.workload.vm import AppType
+
+#: Named archetype mixes: scale-out-heavy, HPC-heavy, and the paper-like
+#: blend the library defaults to.
+SCENARIO_MIXES: dict[str, dict[AppType, float]] = {
+    "scale-out": {AppType.WEB: 0.8, AppType.BATCH: 0.15, AppType.HPC: 0.05},
+    "mixed": {AppType.WEB: 0.5, AppType.BATCH: 0.3, AppType.HPC: 0.2},
+    "hpc": {AppType.WEB: 0.1, AppType.BATCH: 0.2, AppType.HPC: 0.7},
+}
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Headline comparison for one workload scenario."""
+
+    scenario: str
+    proposed_cost_eur: float
+    best_baseline_cost_eur: float
+    cost_saving_pct: float
+    proposed_energy_gj: float
+    best_baseline_energy_gj: float
+    energy_saving_pct: float
+    proposed_p99_rt_s: float
+
+
+def scenario_config(
+    base: ExperimentConfig, scenario: str
+) -> ExperimentConfig:
+    """The base configuration with the scenario's archetype mix."""
+    if scenario not in SCENARIO_MIXES:
+        raise KeyError(
+            f"unknown scenario {scenario!r}; choose from {sorted(SCENARIO_MIXES)}"
+        )
+    arrival_model = dataclasses.replace(
+        base.arrival_model, app_mix=SCENARIO_MIXES[scenario]
+    )
+    return dataclasses.replace(
+        base, name=f"{base.name}-{scenario}", arrival_model=arrival_model
+    )
+
+
+def run_scenarios(
+    base: ExperimentConfig,
+    scenarios: tuple[str, ...] = ("scale-out", "mixed", "hpc"),
+    alpha: float = 0.5,
+) -> list[ScenarioOutcome]:
+    """Four-method comparison per scenario, summarized vs best baseline."""
+    outcomes = []
+    for scenario in scenarios:
+        config = scenario_config(base, scenario)
+        results = run_comparison(config, alpha=alpha)
+        proposed = results[0]
+        baselines = results[1:]
+        best_cost = min(r.total_grid_cost_eur() for r in baselines)
+        best_energy = min(r.total_facility_energy_joules() for r in baselines)
+        outcomes.append(
+            ScenarioOutcome(
+                scenario=scenario,
+                proposed_cost_eur=proposed.total_grid_cost_eur(),
+                best_baseline_cost_eur=best_cost,
+                cost_saving_pct=improvement_pct(
+                    best_cost, proposed.total_grid_cost_eur()
+                ),
+                proposed_energy_gj=proposed.total_energy_gj(),
+                best_baseline_energy_gj=best_energy / 1e9,
+                energy_saving_pct=improvement_pct(
+                    best_energy, proposed.total_facility_energy_joules()
+                ),
+                proposed_p99_rt_s=proposed.percentile_response_s(99.0),
+            )
+        )
+    return outcomes
+
+
+def format_outcomes(outcomes: list[ScenarioOutcome]) -> str:
+    """Plain-text scenario table."""
+    header = (
+        f"{'scenario':<10} {'cost EUR':>10} {'best bl.':>10} {'saving %':>9} "
+        f"{'energy GJ':>10} {'saving %':>9} {'p99 RT s':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    for outcome in outcomes:
+        lines.append(
+            f"{outcome.scenario:<10} {outcome.proposed_cost_eur:>10.2f} "
+            f"{outcome.best_baseline_cost_eur:>10.2f} "
+            f"{outcome.cost_saving_pct:>9.1f} "
+            f"{outcome.proposed_energy_gj:>10.3f} "
+            f"{outcome.energy_saving_pct:>9.1f} "
+            f"{outcome.proposed_p99_rt_s:>9.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Network substrate: geo topology, BER process, latency model.
+
+Implements Section III of the paper:
+
+* a full-mesh backbone between DCs (100 Gb/s optical links) and
+  intra-DC local links (10 Gb/s) used to reach network-attached storage,
+* bit error rates drawn from the paper's categorical distribution
+  (:mod:`repro.network.ber`),
+* the total/worst-case destination latency of Eq. 1-4 and the
+  BER-fragmented global data latency of Algorithm 1
+  (:mod:`repro.network.latency`).
+"""
+
+from repro.network.ber import BER_DISTRIBUTION, BERProcess
+from repro.network.latency import LatencyModel, global_data_latency
+from repro.network.topology import GeoTopology, haversine_m
+
+__all__ = [
+    "BER_DISTRIBUTION",
+    "BERProcess",
+    "GeoTopology",
+    "LatencyModel",
+    "global_data_latency",
+    "haversine_m",
+]

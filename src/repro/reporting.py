@@ -1,0 +1,91 @@
+"""Plain-text plotting helpers (no matplotlib dependency).
+
+Used by the CLI and the examples to render the paper's figures as
+terminal output: horizontal bars (Figs. 1, 4), time series (Fig. 2)
+and histograms (Fig. 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def bar_chart(
+    values: dict[str, float],
+    width: int = 40,
+    fmt: str = "{:.3f}",
+    fill: str = "#",
+) -> str:
+    """Horizontal bar chart of labeled values (scaled to the max)."""
+    if not values:
+        return "(no data)"
+    top = max(abs(value) for value in values.values()) or 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar = fill * int(round(width * abs(value) / top))
+        lines.append(f"{label:<{label_width}} {fmt.format(value):>10} |{bar}")
+    return "\n".join(lines)
+
+
+def sparkline(series: np.ndarray, width: int = 72) -> str:
+    """One-line sparkline of a series (down-sampled to ``width``)."""
+    series = np.asarray(series, dtype=float)
+    if series.size == 0:
+        return "(no data)"
+    if series.size > width:
+        edges = np.linspace(0, series.size, width + 1).astype(int)
+        series = np.array(
+            [series[a:b].mean() for a, b in zip(edges[:-1], edges[1:])]
+        )
+    glyphs = " .:-=+*#%@"
+    low, high = float(series.min()), float(series.max())
+    span = (high - low) or 1.0
+    return "".join(
+        glyphs[min(int((value - low) / span * (len(glyphs) - 1)), len(glyphs) - 1)]
+        for value in series
+    )
+
+
+def histogram(
+    samples: np.ndarray,
+    bins: int = 30,
+    height: int = 8,
+    upper: float | None = None,
+) -> str:
+    """Vertical ASCII histogram of samples (density-normalized)."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        return "(no data)"
+    hi = upper if upper else float(samples.max()) or 1.0
+    density, _ = np.histogram(samples, bins=bins, range=(0.0, hi), density=True)
+    peak = density.max() or 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = peak * (level - 0.5) / height
+        rows.append(
+            "".join("#" if value >= threshold else " " for value in density)
+        )
+    rows.append("-" * bins)
+    rows.append(f"0{'':{bins - 2}}{hi:.2g}")
+    return "\n".join(rows)
+
+
+def series_panel(
+    series: dict[str, np.ndarray], width: int = 72
+) -> str:
+    """Stacked sparklines with shared labels and min/max annotations."""
+    if not series:
+        return "(no data)"
+    label_width = max(len(label) for label in series)
+    lines = []
+    for label, values in series.items():
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            lines.append(f"{label:<{label_width}} (no data)")
+            continue
+        lines.append(
+            f"{label:<{label_width}} |{sparkline(values, width)}| "
+            f"[{values.min():.3g}, {values.max():.3g}]"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Simulation: configs, the slot engine, metrics and results.
+
+* :mod:`repro.sim.config` -- experiment configurations (Table I fleet
+  and CI-scale variants) and fleet builders,
+* :mod:`repro.sim.state` -- the observation/placement interface between
+  the engine and placement policies,
+* :mod:`repro.sim.engine` -- the hour-slotted simulation loop,
+* :mod:`repro.sim.metrics` / :mod:`repro.sim.results` -- per-slot
+  records and aggregate results (cost, energy, response time).
+"""
+
+from repro.sim.config import (
+    ExperimentConfig,
+    build_datacenters,
+    build_latency_model,
+    paper_config,
+    scaled_config,
+)
+from repro.sim.audit import AuditReport, audit_run
+from repro.sim.engine import SimulationEngine, run_policies
+from repro.sim.metrics import (
+    cost_improvements,
+    energy_improvements,
+    format_comparison,
+    normalized_costs,
+    performance_improvements,
+    response_time_pdf,
+)
+from repro.sim.results import RunResult, SlotRecord
+from repro.sim.state import FleetPlacement, PlacementPolicy, SlotObservation
+
+__all__ = [
+    "AuditReport",
+    "ExperimentConfig",
+    "FleetPlacement",
+    "PlacementPolicy",
+    "RunResult",
+    "SimulationEngine",
+    "SlotObservation",
+    "SlotRecord",
+    "audit_run",
+    "build_datacenters",
+    "build_latency_model",
+    "cost_improvements",
+    "energy_improvements",
+    "format_comparison",
+    "normalized_costs",
+    "paper_config",
+    "performance_improvements",
+    "response_time_pdf",
+    "run_policies",
+    "scaled_config",
+]

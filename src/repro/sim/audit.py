@@ -1,0 +1,138 @@
+"""Post-run physical-consistency auditor.
+
+A :class:`~repro.sim.results.RunResult` is a ledger; this module checks
+the ledger obeys physics and the model's contracts:
+
+* every slot's green ledger conserves energy (PV split, source sum);
+* IT energy never exceeds facility energy (PUE >= 1);
+* battery state-of-charge stays within [floor, capacity] and is
+  continuous across slots;
+* response-time samples and migration counters are non-negative and
+  internally consistent.
+
+The auditor is used by integration tests and available to library
+users as a cheap sanity gate after custom experiments
+(``audit_run(result, config).raise_if_failed()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.config import ExperimentConfig
+from repro.sim.results import RunResult
+
+
+@dataclass
+class AuditReport:
+    """Outcome of an audit: a list of human-readable violations."""
+
+    policy_name: str
+    checks_run: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when no violation was found."""
+        return not self.violations
+
+    def record(self, ok: bool, message: str) -> None:
+        """Count a check; store ``message`` when it failed."""
+        self.checks_run += 1
+        if not ok:
+            self.violations.append(message)
+
+    def raise_if_failed(self) -> None:
+        """Raise ``AssertionError`` listing all violations."""
+        if not self.passed:
+            summary = "\n  - ".join(self.violations[:20])
+            raise AssertionError(
+                f"audit of {self.policy_name!r} failed "
+                f"({len(self.violations)} violations):\n  - {summary}"
+            )
+
+
+def audit_run(
+    result: RunResult,
+    config: ExperimentConfig,
+    tolerance: float = 1e-6,
+) -> AuditReport:
+    """Run every consistency check against a finished simulation."""
+    report = AuditReport(policy_name=result.policy_name)
+    report.record(
+        result.horizon == config.horizon_slots,
+        f"horizon {result.horizon} != configured {config.horizon_slots}",
+    )
+
+    previous_soc = [None] * config.n_dcs
+    for slot in result.slots:
+        report.record(
+            len(slot.dc_records) == config.n_dcs,
+            f"slot {slot.slot}: {len(slot.dc_records)} DC records",
+        )
+        report.record(
+            slot.migrations >= 0 and slot.migration_volume_mb >= 0.0,
+            f"slot {slot.slot}: negative migration counters",
+        )
+        for dc_index, record in enumerate(slot.dc_records):
+            green = record.green
+            prefix = f"slot {slot.slot} DC{dc_index + 1}"
+
+            supplied = green.pv_used + green.battery_discharged + green.grid_to_load
+            scale = max(green.facility_energy, 1.0)
+            report.record(
+                abs(supplied - green.facility_energy) <= tolerance * scale,
+                f"{prefix}: sources {supplied:.3f} != facility "
+                f"{green.facility_energy:.3f}",
+            )
+
+            pv_split = green.pv_used + green.pv_stored + green.pv_curtailed
+            report.record(
+                abs(pv_split - green.pv_generated)
+                <= tolerance * max(green.pv_generated, 1.0),
+                f"{prefix}: PV split does not add up",
+            )
+
+            report.record(
+                green.grid_energy >= green.grid_to_load - tolerance,
+                f"{prefix}: grid energy below grid-to-load",
+            )
+            report.record(
+                green.grid_cost_eur >= -tolerance,
+                f"{prefix}: negative grid cost",
+            )
+            report.record(
+                record.it_energy_joules <= green.facility_energy + tolerance * scale,
+                f"{prefix}: IT energy above facility energy (PUE < 1?)",
+            )
+            report.record(
+                record.active_servers <= config.specs[dc_index].n_servers,
+                f"{prefix}: more active servers than physical",
+            )
+            report.record(
+                record.response_latency_s >= 0.0 and record.receiving_vms >= 0,
+                f"{prefix}: negative response metrics",
+            )
+
+            spec = config.specs[dc_index]
+            capacity = spec.battery_kwh * 3.6e6
+            report.record(
+                -tolerance * max(capacity, 1.0)
+                <= green.soc_end - 0.0
+                and green.soc_end <= capacity * (1.0 + tolerance) + tolerance,
+                f"{prefix}: SoC {green.soc_end:.0f} outside [0, {capacity:.0f}]",
+            )
+            if previous_soc[dc_index] is not None:
+                report.record(
+                    abs(green.soc_start - previous_soc[dc_index])
+                    <= tolerance * max(capacity, 1.0),
+                    f"{prefix}: SoC discontinuity across slots",
+                )
+            previous_soc[dc_index] = green.soc_end
+
+    samples = result.response_samples()
+    report.record(
+        bool((samples >= 0.0).all()) if samples.size else True,
+        "negative response-time samples",
+    )
+    return report

@@ -1,0 +1,253 @@
+"""Hour-slotted simulation engine.
+
+Each slot the engine (Section IV-A's protocol):
+
+1. updates the alive VM set (Poisson arrivals / exponential departures);
+2. assembles the :class:`~repro.sim.state.SlotObservation` -- the
+   *previous* slot's demand traces and data volumes plus the live DC
+   states -- and asks the policy for a placement;
+3. replays the placement against the *realized* current-slot traces:
+   per-server power at the chosen DVFS level, times the site's
+   time-varying PUE, gives each DC's facility power;
+4. runs the green controller over the slot (renewables, battery, grid,
+   cost);
+5. evaluates the response-time model: current-slot data volumes are
+   aggregated per DC pair and Eq. 1 gives each destination DC's
+   worst-case latency, sampled once per receiving VM.
+
+The engine owns all mutation (battery state, forecaster history);
+policies only read the observation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.green import GreenController
+from repro.sim.config import (
+    ExperimentConfig,
+    build_datacenters,
+    build_latency_model,
+)
+from repro.sim.results import DCSlotRecord, RunResult, SlotRecord
+from repro.sim.state import FleetPlacement, PlacementPolicy, SlotObservation
+from repro.units import SECONDS_PER_HOUR
+from repro.workload.arrivals import VMPopulation
+from repro.workload.datacorr import DataCorrelationProcess
+from repro.workload.traces import TraceLibrary
+from repro.workload.vm import VirtualMachine
+
+
+class SimulationEngine:
+    """Runs one policy over one configuration.
+
+    Parameters
+    ----------
+    config:
+        The experiment configuration (fleet, horizon, workload).
+    policy:
+        The placement policy under test.
+    validate:
+        Validate every placement against the observation (cheap; keep
+        on except in micro-benchmarks).
+    trace_library:
+        Optional replacement trace provider (e.g. a
+        :class:`~repro.workload.recorded.RecordedTraceLibrary` holding
+        real DC traces); defaults to the synthetic
+        :class:`~repro.workload.traces.TraceLibrary`.
+    clairvoyant:
+        When True the observation carries the *current* slot's traces
+        and volumes instead of the previous slot's -- a perfect
+        load/communication forecast.  The paper's controllers plan on
+        last-interval data (Section IV-A); the clairvoyant mode bounds
+        what better forecasting could buy.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        policy: PlacementPolicy,
+        validate: bool = True,
+        trace_library=None,
+        clairvoyant: bool = False,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.validate = validate
+        self.clairvoyant = clairvoyant
+
+        self.population = VMPopulation.generate(
+            config.arrival_model, config.horizon_slots, seed=config.seed
+        )
+        self.traces = trace_library or TraceLibrary(
+            steps_per_slot=config.steps_per_slot, seed=config.seed + 1
+        )
+        self.volumes = DataCorrelationProcess(seed=config.seed + 2)
+        self.latency_model = build_latency_model(config)
+        self.green = GreenController(
+            step_s=SECONDS_PER_HOUR / config.steps_per_slot
+        )
+        self._demand_cache: dict[tuple[int, int], np.ndarray] = {}
+
+    # -- workload access ------------------------------------------------
+
+    def _demand_row(self, vm: VirtualMachine, slot: int) -> np.ndarray:
+        key = (vm.vm_id, slot)
+        row = self._demand_cache.get(key)
+        if row is None:
+            row = self.traces.slot_demand(vm, slot)
+            self._demand_cache[key] = row
+        return row
+
+    def _demand(self, vms: list[VirtualMachine], slot: int) -> np.ndarray:
+        if not vms:
+            return np.zeros((0, self.config.steps_per_slot))
+        return np.stack([self._demand_row(vm, slot) for vm in vms])
+
+    def _evict_cache(self, older_than_slot: int) -> None:
+        stale = [key for key in self._demand_cache if key[1] < older_than_slot]
+        for key in stale:
+            del self._demand_cache[key]
+
+    # -- per-slot physics -------------------------------------------------
+
+    def _dc_it_power(
+        self,
+        placement: FleetPlacement,
+        dc_index: int,
+        vm_rows: dict[int, int],
+        demand_now: np.ndarray,
+    ) -> tuple[np.ndarray, int]:
+        """IT power trace (W) and active server count of one DC."""
+        allocation = placement.allocations[dc_index]
+        power = np.zeros(self.config.steps_per_slot)
+        model = allocation.model
+        for server_vms, level in zip(allocation.server_vms, allocation.frequencies):
+            aggregate = np.zeros(self.config.steps_per_slot)
+            for vm_id in server_vms:
+                aggregate += demand_now[vm_rows[vm_id]]
+            power += model.power_trace(level, aggregate)
+        return power, allocation.active_servers
+
+    def _response_latencies(
+        self,
+        placement: FleetPlacement,
+        vms: list[VirtualMachine],
+        volumes_now: np.ndarray,
+        slot: int,
+    ) -> list[tuple[float, int]]:
+        """Eq. 1 latency and receiving-VM count per destination DC."""
+        n_dcs = self.config.n_dcs
+        dc_of = np.array([placement.assignment[vm.vm_id] for vm in vms], dtype=int)
+        results: list[tuple[float, int]] = []
+        received = volumes_now.sum(axis=0)  # MB flowing into each VM
+        for dst in range(n_dcs):
+            members = np.nonzero(dc_of == dst)[0]
+            if members.size == 0:
+                results.append((0.0, 0))
+                continue
+            volumes_from = {}
+            for src in range(n_dcs):
+                senders = np.nonzero(dc_of == src)[0]
+                if senders.size == 0:
+                    continue
+                volume = float(volumes_now[np.ix_(senders, members)].sum())
+                if volume > 0.0:
+                    volumes_from[src] = volume
+            latency = self.latency_model.destination_latency(
+                dst, volumes_from, slot
+            ).total_s
+            receiving = int(np.count_nonzero(received[members] > 0.0))
+            results.append((latency, receiving))
+        return results
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Simulate the full horizon and return the result ledger."""
+        config = self.config
+        self.policy.reset()
+        dcs = build_datacenters(config)
+        result = RunResult(policy_name=self.policy.name, config_name=config.name)
+        previous_assignment: dict[int, int] = {}
+
+        for slot in range(config.horizon_slots):
+            vms = self.population.alive(slot)
+            vm_rows = {vm.vm_id: row for row, vm in enumerate(vms)}
+            observed_slot = slot if self.clairvoyant else max(slot - 1, 0)
+            demand_prev = self._demand(vms, observed_slot)
+            volumes_prev = self.volumes.volumes(vms, observed_slot)
+
+            observation = SlotObservation(
+                slot=slot,
+                vms=vms,
+                demand_traces=demand_prev,
+                volumes=volumes_prev,
+                previous_assignment={
+                    vm.vm_id: previous_assignment[vm.vm_id]
+                    for vm in vms
+                    if vm.vm_id in previous_assignment
+                },
+                dcs=dcs,
+                latency_model=self.latency_model,
+                latency_constraint_s=config.latency_constraint_s,
+            )
+            placement = self.policy.place(observation)
+            if self.validate:
+                placement.validate(observation)
+
+            demand_now = self._demand(vms, slot)
+            volumes_now = self.volumes.volumes(vms, slot)
+            latencies = self._response_latencies(
+                placement, vms, volumes_now.volumes, slot
+            )
+
+            slot_record = SlotRecord(
+                slot=slot,
+                n_vms=len(vms),
+                migrations=len(placement.moves),
+                migration_volume_mb=sum(move.image_mb for move in placement.moves),
+            )
+
+            times = slot * SECONDS_PER_HOUR + (
+                (np.arange(config.steps_per_slot) + 0.5)
+                * (SECONDS_PER_HOUR / config.steps_per_slot)
+            )
+            for dc in dcs:
+                it_power, active = self._dc_it_power(
+                    placement, dc.index, vm_rows, demand_now
+                )
+                facility_power = it_power * dc.spec.pue_model.pue(times)
+                green = self.green.run_slot(dc, slot, facility_power)
+                dc.record_slot(slot, green.facility_energy, green.pv_generated)
+                latency, receiving = latencies[dc.index]
+                slot_record.dc_records.append(
+                    DCSlotRecord(
+                        green=green,
+                        it_energy_joules=float(
+                            it_power.sum()
+                            * (SECONDS_PER_HOUR / config.steps_per_slot)
+                        ),
+                        active_servers=active,
+                        response_latency_s=latency,
+                        receiving_vms=receiving,
+                    )
+                )
+
+            result.slots.append(slot_record)
+            previous_assignment = dict(placement.assignment)
+            self._evict_cache(slot)
+
+        return result
+
+
+def run_policies(
+    config: ExperimentConfig, policies: list[PlacementPolicy]
+) -> list[RunResult]:
+    """Run several policies over the *same* workload realization.
+
+    Every engine derives its stochastic streams from ``config.seed``,
+    so policies see identical VMs, traces, volumes, weather and BER --
+    the paper's comparison protocol.
+    """
+    return [SimulationEngine(config, policy).run() for policy in policies]

@@ -1,0 +1,131 @@
+"""Cross-run comparison metrics and table formatting.
+
+The paper's figures report *normalized* quantities: cost normalized by
+the worst method (Fig. 1), response time normalized by the worst case
+among methods (Fig. 3), pairwise improvement percentages (Figs. 4-6).
+These helpers compute them from a set of :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.results import RunResult
+
+
+def normalized_costs(results: list[RunResult]) -> dict[str, float]:
+    """Fig. 1 quantity: cost / worst-method cost, per policy."""
+    if not results:
+        return {}
+    worst = max(result.total_grid_cost_eur() for result in results)
+    if worst <= 0:
+        return {result.policy_name: 0.0 for result in results}
+    return {
+        result.policy_name: result.total_grid_cost_eur() / worst
+        for result in results
+    }
+
+
+def improvement_pct(baseline: float, candidate: float) -> float:
+    """Relative improvement of ``candidate`` over ``baseline`` (%).
+
+    Positive means the candidate is lower/better for cost-like metrics.
+    """
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - candidate) / baseline
+
+
+def cost_improvements(
+    results: list[RunResult], reference: str = "Proposed"
+) -> dict[str, float]:
+    """Cost savings (%) of ``reference`` vs every other policy."""
+    by_name = {result.policy_name: result for result in results}
+    if reference not in by_name:
+        raise KeyError(f"no run named {reference!r}")
+    ref_cost = by_name[reference].total_grid_cost_eur()
+    return {
+        name: improvement_pct(result.total_grid_cost_eur(), ref_cost)
+        for name, result in by_name.items()
+        if name != reference
+    }
+
+
+def energy_improvements(
+    results: list[RunResult], reference: str = "Proposed"
+) -> dict[str, float]:
+    """Energy savings (%) of ``reference`` vs every other policy."""
+    by_name = {result.policy_name: result for result in results}
+    if reference not in by_name:
+        raise KeyError(f"no run named {reference!r}")
+    ref = by_name[reference].total_facility_energy_joules()
+    return {
+        name: improvement_pct(result.total_facility_energy_joules(), ref)
+        for name, result in by_name.items()
+        if name != reference
+    }
+
+
+def performance_improvements(
+    results: list[RunResult],
+    reference: str = "Proposed",
+    percentile: float = 99.0,
+) -> dict[str, float]:
+    """Worst-case response-time improvement (%) of ``reference``.
+
+    The paper judges performance by the SLA-relevant worst case; a
+    high percentile is used instead of the literal maximum to keep the
+    metric stable across seeds.
+    """
+    by_name = {result.policy_name: result for result in results}
+    if reference not in by_name:
+        raise KeyError(f"no run named {reference!r}")
+    ref = by_name[reference].percentile_response_s(percentile)
+    return {
+        name: improvement_pct(result.percentile_response_s(percentile), ref)
+        for name, result in by_name.items()
+        if name != reference
+    }
+
+
+def response_time_pdf(
+    samples: np.ndarray, bins: int = 40, upper: float | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fig. 3 quantity: (bin centers, probability density).
+
+    ``upper`` normalizes the samples by a common worst case (use the
+    max across all methods to match the paper's normalization).
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.size == 0:
+        return np.zeros(0), np.zeros(0)
+    scale = upper if upper else float(samples.max())
+    if scale <= 0:
+        scale = 1.0
+    normalized = samples / scale
+    density, edges = np.histogram(normalized, bins=bins, range=(0.0, 1.0), density=True)
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return centers, density
+
+
+def format_comparison(results: list[RunResult]) -> str:
+    """Multi-line table of the headline metrics per policy."""
+    header = (
+        f"{'policy':<12} {'cost EUR':>10} {'norm':>6} {'energy GJ':>10} "
+        f"{'mean RT s':>10} {'p99 RT s':>9} {'worst RT s':>11} {'migs':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    norms = normalized_costs(results)
+    for result in results:
+        summary = result.summary()
+        lines.append(
+            f"{summary['policy']:<12} "
+            f"{summary['cost_eur']:>10.2f} "
+            f"{norms[summary['policy']]:>6.3f} "
+            f"{summary['energy_gj']:>10.3f} "
+            f"{summary['mean_rt_s']:>10.4f} "
+            f"{result.percentile_response_s(99.0):>9.4f} "
+            f"{summary['worst_rt_s']:>11.4f} "
+            f"{summary['migrations']:>6d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Per-slot records and aggregate run results.
+
+A :class:`RunResult` is the unit every experiment and benchmark
+consumes: it carries one :class:`SlotRecord` per simulated hour and
+exposes the aggregates the paper's figures are built from --
+operational cost (Fig. 1), hourly/total energy (Fig. 2) and the
+response-time distribution (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.green import GreenSlotResult
+from repro.units import joules_to_gj
+
+
+@dataclass
+class DCSlotRecord:
+    """One DC's ledger for one slot.
+
+    Attributes
+    ----------
+    green:
+        Energy-source ledger from the green controller.
+    it_energy_joules:
+        IT-only energy (facility energy divided by the PUE path).
+    active_servers:
+        Powered-on servers this slot.
+    response_latency_s:
+        Eq. 1 worst-case latency of this DC as a data destination.
+    receiving_vms:
+        VMs in this DC that waited for data this slot.
+    """
+
+    green: GreenSlotResult
+    it_energy_joules: float
+    active_servers: int
+    response_latency_s: float
+    receiving_vms: int
+
+
+@dataclass
+class SlotRecord:
+    """Fleet-wide ledger for one slot."""
+
+    slot: int
+    n_vms: int
+    migrations: int
+    migration_volume_mb: float
+    dc_records: list[DCSlotRecord] = field(default_factory=list)
+
+    @property
+    def grid_cost_eur(self) -> float:
+        """Fleet grid cost this slot."""
+        return sum(record.green.grid_cost_eur for record in self.dc_records)
+
+    @property
+    def facility_energy_joules(self) -> float:
+        """Fleet facility energy this slot."""
+        return sum(record.green.facility_energy for record in self.dc_records)
+
+    @property
+    def grid_energy_joules(self) -> float:
+        """Fleet grid draw this slot (incl. battery charging)."""
+        return sum(record.green.grid_energy for record in self.dc_records)
+
+    def response_samples(self) -> np.ndarray:
+        """Per-VM response-time samples for this slot (seconds)."""
+        parts = [
+            np.full(record.receiving_vms, record.response_latency_s)
+            for record in self.dc_records
+            if record.receiving_vms > 0
+        ]
+        if not parts:
+            return np.zeros(0)
+        return np.concatenate(parts)
+
+
+@dataclass
+class RunResult:
+    """Complete output of one (config, policy) simulation run."""
+
+    policy_name: str
+    config_name: str
+    slots: list[SlotRecord] = field(default_factory=list)
+
+    @property
+    def horizon(self) -> int:
+        """Number of simulated slots."""
+        return len(self.slots)
+
+    # -- Fig. 1: operational cost ------------------------------------
+    def total_grid_cost_eur(self) -> float:
+        """Operational cost of the whole run (EUR)."""
+        return sum(slot.grid_cost_eur for slot in self.slots)
+
+    def hourly_cost_eur(self) -> np.ndarray:
+        """Grid cost per slot."""
+        return np.array([slot.grid_cost_eur for slot in self.slots])
+
+    # -- Fig. 2: energy ------------------------------------------------
+    def total_facility_energy_joules(self) -> float:
+        """Total facility energy over the run."""
+        return sum(slot.facility_energy_joules for slot in self.slots)
+
+    def total_energy_gj(self) -> float:
+        """Total facility energy in GJ (the Fig. 2 unit)."""
+        return joules_to_gj(self.total_facility_energy_joules())
+
+    def hourly_energy_joules(self) -> np.ndarray:
+        """Facility energy per slot (the Fig. 2 series)."""
+        return np.array([slot.facility_energy_joules for slot in self.slots])
+
+    def total_grid_energy_joules(self) -> float:
+        """Total grid draw over the run."""
+        return sum(slot.grid_energy_joules for slot in self.slots)
+
+    def renewable_utilization(self) -> float:
+        """Fraction of generated PV energy actually used or stored."""
+        generated = used = 0.0
+        for slot in self.slots:
+            for record in slot.dc_records:
+                generated += record.green.pv_generated
+                used += record.green.pv_used + record.green.pv_stored
+        return used / generated if generated > 0 else 0.0
+
+    # -- Fig. 3: response time ----------------------------------------
+    def response_samples(self) -> np.ndarray:
+        """All per-VM response-time samples of the run (seconds)."""
+        parts = [slot.response_samples() for slot in self.slots]
+        parts = [part for part in parts if part.size]
+        if not parts:
+            return np.zeros(0)
+        return np.concatenate(parts)
+
+    def mean_response_s(self) -> float:
+        """Mean per-VM response time."""
+        samples = self.response_samples()
+        return float(samples.mean()) if samples.size else 0.0
+
+    def percentile_response_s(self, percentile: float) -> float:
+        """Percentile of the per-VM response-time distribution."""
+        samples = self.response_samples()
+        return float(np.percentile(samples, percentile)) if samples.size else 0.0
+
+    def worst_response_s(self) -> float:
+        """Worst-case response time (the SLA quantity of Section V-B3)."""
+        samples = self.response_samples()
+        return float(samples.max()) if samples.size else 0.0
+
+    # -- misc -----------------------------------------------------------
+    def total_migrations(self) -> int:
+        """Inter-DC migrations executed over the run."""
+        return sum(slot.migrations for slot in self.slots)
+
+    def total_migration_volume_mb(self) -> float:
+        """Total migrated image volume (MB)."""
+        return sum(slot.migration_volume_mb for slot in self.slots)
+
+    def mean_active_servers(self) -> float:
+        """Average powered-on servers per slot (fleet-wide)."""
+        if not self.slots:
+            return 0.0
+        return float(
+            np.mean(
+                [
+                    sum(record.active_servers for record in slot.dc_records)
+                    for slot in self.slots
+                ]
+            )
+        )
+
+    def summary(self) -> dict:
+        """One-line dictionary for tables and logs."""
+        return {
+            "policy": self.policy_name,
+            "config": self.config_name,
+            "cost_eur": self.total_grid_cost_eur(),
+            "energy_gj": self.total_energy_gj(),
+            "grid_energy_gj": joules_to_gj(self.total_grid_energy_joules()),
+            "mean_rt_s": self.mean_response_s(),
+            "p95_rt_s": self.percentile_response_s(95.0),
+            "worst_rt_s": self.worst_response_s(),
+            "migrations": self.total_migrations(),
+            "mean_active_servers": self.mean_active_servers(),
+            "renewable_utilization": self.renewable_utilization(),
+        }

@@ -1,0 +1,52 @@
+"""Forecast accuracy evaluation."""
+
+import pytest
+
+from repro.analysis.forecast_eval import evaluate_forecaster
+from repro.datacenter.forecast import WCMAForecaster
+from repro.datacenter.pv import PVArray
+
+
+@pytest.fixture
+def array() -> PVArray:
+    return PVArray(kwp=5.0, seed=11)
+
+
+class TestEvaluation:
+    def test_basic_run(self, array):
+        accuracy = evaluate_forecaster(array, 48)
+        assert accuracy.horizon_slots == 48
+        assert 0 < accuracy.daylight_slots < 48
+        assert accuracy.mae_joules >= 0.0
+        assert accuracy.total_generated_joules > 0.0
+
+    def test_zero_kwp_all_night(self):
+        dark = PVArray(kwp=0.0)
+        accuracy = evaluate_forecaster(dark, 24)
+        assert accuracy.daylight_slots == 0
+        assert accuracy.mape_pct == 0.0
+        assert accuracy.mae_fraction == 0.0
+
+    def test_learning_reduces_error(self, array):
+        """A forecaster with a week of history beats a cold one."""
+        cold = evaluate_forecaster(array, 24)
+        warm_forecaster = WCMAForecaster(array)
+        for slot in range(24 * 7):
+            warm_forecaster.record(slot, array.slot_energy_joules(slot))
+        warm = evaluate_forecaster(
+            PVArray(kwp=5.0, seed=11), 24, forecaster=warm_forecaster
+        )
+        # Not guaranteed slot by slot, but the week of profile history
+        # should not make things dramatically worse.
+        assert warm.mape_pct < cold.mape_pct * 1.5
+
+    def test_mae_fraction_scale_free(self, array):
+        small = evaluate_forecaster(PVArray(kwp=1.0, seed=3), 48)
+        large = evaluate_forecaster(PVArray(kwp=100.0, seed=3), 48)
+        assert small.mae_fraction == pytest.approx(
+            large.mae_fraction, rel=1e-6
+        )
+
+    def test_horizon_validated(self, array):
+        with pytest.raises(ValueError):
+            evaluate_forecaster(array, 0)

@@ -1,0 +1,119 @@
+"""LP sourcing lower bound: correctness on closed-form cases + runs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lower_bound import (
+    CostLowerBound,
+    _solve_dc_lp,
+    operational_cost_lower_bound,
+)
+from repro.core.controller import ProposedPolicy
+from repro.sim.config import scaled_config
+from repro.sim.engine import SimulationEngine
+
+PRICE = 0.1 / 3.6e6  # EUR per Joule
+
+
+class TestClosedForm:
+    def test_grid_only(self):
+        cost = _solve_dc_lp(
+            np.array([3.6e6]), np.array([0.0]), np.array([PRICE]),
+            0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0,
+        )
+        assert cost == pytest.approx(0.1)
+
+    def test_pv_covers_load(self):
+        cost = _solve_dc_lp(
+            np.array([1e6]), np.array([2e6]), np.array([PRICE]),
+            0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0,
+        )
+        assert cost == pytest.approx(0.0, abs=1e-9)
+
+    def test_battery_covers_load(self):
+        cost = _solve_dc_lp(
+            np.array([1e6]), np.array([0.0]), np.array([PRICE]),
+            4e6, 1e6, 4e6, 0.95, 0.95, 2e6, 1.9e6,
+        )
+        assert cost == pytest.approx(0.0, abs=1e-9)
+
+    def test_dod_floor_blocks_deep_discharge(self):
+        # Usable = (soc - floor) * eff = (2e6 - 1.5e6) * 1.0 = 0.5e6.
+        cost = _solve_dc_lp(
+            np.array([1e6]), np.array([0.0]), np.array([PRICE]),
+            2e6, 1.5e6, 2e6, 1.0, 1.0, 2e6, 2e6,
+        )
+        expected = 0.5e6 * PRICE
+        assert cost == pytest.approx(expected, rel=1e-6)
+
+    def test_arbitrage_buys_cheap_slot(self):
+        # Cheap slot 0 charges the battery for the pricey slot 1.
+        cost = _solve_dc_lp(
+            np.array([0.0, 1e6]), np.array([0.0, 0.0]),
+            np.array([0.05 / 3.6e6, 0.5 / 3.6e6]),
+            4e6, 1e6, 1e6, 1.0, 1.0, 2e6, 2e6,
+        )
+        assert cost == pytest.approx(1e6 * 0.05 / 3.6e6, rel=1e-6)
+
+    def test_charge_efficiency_inflates_arbitrage(self):
+        lossy = _solve_dc_lp(
+            np.array([0.0, 1e6]), np.array([0.0, 0.0]),
+            np.array([0.05 / 3.6e6, 0.5 / 3.6e6]),
+            4e6, 1e6, 1e6, 0.5, 1.0, 4e6, 4e6,
+        )
+        assert lossy == pytest.approx(2e6 * 0.05 / 3.6e6, rel=1e-6)
+
+    def test_charge_rate_limits_arbitrage(self):
+        # Only 0.4e6 J can be banked in the cheap slot.
+        cost = _solve_dc_lp(
+            np.array([0.0, 1e6]), np.array([0.0, 0.0]),
+            np.array([0.05 / 3.6e6, 0.5 / 3.6e6]),
+            4e6, 1e6, 1e6, 1.0, 1.0, 0.4e6, 4e6,
+        )
+        expected = 0.4e6 * 0.05 / 3.6e6 + 0.6e6 * 0.5 / 3.6e6
+        assert cost == pytest.approx(expected, rel=1e-6)
+
+    def test_empty_horizon(self):
+        assert _solve_dc_lp(
+            np.zeros(0), np.zeros(0), np.zeros(0),
+            0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 0.0,
+        ) == 0.0
+
+
+class TestAgainstSimulation:
+    @pytest.fixture(scope="class")
+    def run_and_config(self):
+        config = scaled_config("tiny")
+        result = SimulationEngine(config, ProposedPolicy()).run()
+        return result, config
+
+    def test_bound_never_exceeds_actual(self, run_and_config):
+        result, config = run_and_config
+        bound = operational_cost_lower_bound(result, config)
+        assert bound.total_cost_eur <= bound.actual_cost_eur + 1e-9
+
+    def test_gap_non_negative(self, run_and_config):
+        result, config = run_and_config
+        bound = operational_cost_lower_bound(result, config)
+        assert bound.gap_pct >= 0.0
+
+    def test_per_dc_costs_sum(self, run_and_config):
+        result, config = run_and_config
+        bound = operational_cost_lower_bound(result, config)
+        assert bound.total_cost_eur == pytest.approx(
+            sum(bound.per_dc_cost_eur)
+        )
+
+    def test_dc_count_validated(self, run_and_config):
+        result, _ = run_and_config
+        other = scaled_config("tiny")
+        bad = type(other)(
+            name="bad", specs=other.specs[:2], horizon_slots=24
+        )
+        with pytest.raises(ValueError, match="number of DCs"):
+            operational_cost_lower_bound(result, bad)
+
+    def test_empty_result(self):
+        config = scaled_config("tiny")
+        empty = CostLowerBound(0.0, tuple(), 0.0)
+        assert empty.gap_pct == 0.0

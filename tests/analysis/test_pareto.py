@@ -1,0 +1,70 @@
+"""Pareto analysis: dominance, sweeps, front extraction."""
+
+import pytest
+
+from repro.analysis.pareto import ParetoPoint, alpha_sweep, pareto_front
+from repro.sim.config import scaled_config
+
+
+def point(alpha=0.5, cost=10.0, energy=5.0, rt=1.0) -> ParetoPoint:
+    return ParetoPoint(
+        alpha=alpha, cost_eur=cost, energy_gj=energy, response_p99_s=rt
+    )
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert point(cost=9.0).dominates(point(cost=10.0))
+
+    def test_equal_does_not_dominate(self):
+        assert not point().dominates(point())
+
+    def test_tradeoff_does_not_dominate(self):
+        cheap_slow = point(cost=5.0, rt=2.0)
+        pricey_fast = point(cost=15.0, rt=0.5)
+        assert not cheap_slow.dominates(pricey_fast)
+        assert not pricey_fast.dominates(cheap_slow)
+
+    def test_dominance_needs_all_axes(self):
+        better_cost_worse_energy = point(cost=9.0, energy=6.0)
+        assert not better_cost_worse_energy.dominates(point())
+
+
+class TestFront:
+    def test_dominated_points_removed(self):
+        dominated = point(alpha=0.1, cost=12.0, energy=6.0, rt=2.0)
+        dominating = point(alpha=0.5, cost=10.0, energy=5.0, rt=1.0)
+        front = pareto_front([dominated, dominating])
+        assert front == [dominating]
+
+    def test_incomparable_points_kept(self):
+        a = point(alpha=0.1, cost=5.0, rt=2.0)
+        b = point(alpha=0.9, cost=15.0, rt=0.5)
+        front = pareto_front([a, b])
+        assert len(front) == 2
+
+    def test_front_sorted_by_alpha(self):
+        a = point(alpha=0.9, cost=5.0, rt=2.0)
+        b = point(alpha=0.1, cost=15.0, rt=0.5)
+        front = pareto_front([a, b])
+        assert [p.alpha for p in front] == [0.1, 0.9]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+
+class TestSweep:
+    def test_alpha_sweep_runs(self):
+        config = scaled_config("tiny").with_horizon(4)
+        points = alpha_sweep(config, alphas=(0.2, 0.8))
+        assert [p.alpha for p in points] == [0.2, 0.8]
+        for p in points:
+            assert p.cost_eur > 0.0
+            assert p.energy_gj > 0.0
+
+    def test_front_subset_of_sweep(self):
+        config = scaled_config("tiny").with_horizon(4)
+        points = alpha_sweep(config, alphas=(0.2, 0.8))
+        front = pareto_front(points)
+        assert set(p.alpha for p in front) <= {0.2, 0.8}
+        assert front  # at least one point is always non-dominated

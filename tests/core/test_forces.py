@@ -1,0 +1,150 @@
+"""Force-directed embedding: Eqs. 5-7 behavior."""
+
+import numpy as np
+import pytest
+
+from repro.core.forces import (
+    EmbeddingResult,
+    ForceDirectedEmbedding,
+    ForceParameters,
+    pairwise_distances,
+)
+
+
+def two_point_setup(force_value: float):
+    """Positions and a uniform mutual force between two points."""
+    positions = np.array([[0.0, 0.0], [1.0, 0.0]])
+    forces = np.array([[0.0, force_value], [force_value, 0.0]])
+    return positions, forces
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        ForceParameters()
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            ForceParameters(alpha=-0.1)
+
+    def test_time_step_positive(self):
+        with pytest.raises(ValueError):
+            ForceParameters(time_step=0.0)
+
+    def test_max_iterations_positive(self):
+        with pytest.raises(ValueError):
+            ForceParameters(max_iterations=0)
+
+
+class TestPairwiseDistances:
+    def test_known_values(self):
+        positions = np.array([[0.0, 0.0], [3.0, 4.0]])
+        distances = pairwise_distances(positions)
+        assert distances[0, 1] == pytest.approx(5.0)
+        assert distances[0, 0] == 0.0
+
+
+class TestDynamics:
+    def test_attraction_pulls_together(self):
+        embedding = ForceDirectedEmbedding(ForceParameters(max_iterations=1))
+        positions, forces = two_point_setup(-0.5)
+        zero = np.zeros_like(forces)
+        # alpha=0.5 mixes attraction and repulsion; feed attraction only.
+        result = embedding.run(positions, forces / 0.5, zero)
+        assert pairwise_distances(result.positions)[0, 1] < 1.0
+
+    def test_repulsion_pushes_apart(self):
+        embedding = ForceDirectedEmbedding(ForceParameters(max_iterations=1))
+        positions, forces = two_point_setup(0.5)
+        zero = np.zeros_like(forces)
+        result = embedding.run(positions, zero, forces / 0.5)
+        assert pairwise_distances(result.positions)[0, 1] > 1.0
+
+    def test_coincident_points_jittered_apart(self):
+        embedding = ForceDirectedEmbedding(ForceParameters(max_iterations=3))
+        positions = np.zeros((2, 2))
+        repulsion = np.array([[0.0, 1.0], [1.0, 0.0]])
+        result = embedding.run(positions, np.zeros((2, 2)), repulsion)
+        assert pairwise_distances(result.positions)[0, 1] > 0.0
+
+    def test_single_point_noop(self):
+        embedding = ForceDirectedEmbedding()
+        result = embedding.run(
+            np.array([[1.0, 2.0]]), np.zeros((1, 1)), np.zeros((1, 1))
+        )
+        assert result.converged
+        assert result.iterations == 0
+        assert np.array_equal(result.positions, [[1.0, 2.0]])
+
+    def test_progress_cost_positive_when_following_forces(self):
+        embedding = ForceDirectedEmbedding(ForceParameters(max_iterations=2))
+        positions, forces = two_point_setup(0.5)
+        result = embedding.run(positions, np.zeros((2, 2)), forces / 0.5)
+        assert result.cost_history[0] > 0.0
+
+    def test_iteration_cap_respected(self):
+        embedding = ForceDirectedEmbedding(
+            ForceParameters(max_iterations=4, time_step=0.1)
+        )
+        rng = np.random.default_rng(0)
+        positions = rng.normal(size=(6, 2))
+        attraction = -rng.uniform(0.0, 1.0, size=(6, 6))
+        repulsion = rng.uniform(0.0, 1.0, size=(6, 6))
+        np.fill_diagonal(attraction, 0.0)
+        np.fill_diagonal(repulsion, 0.0)
+        result = embedding.run(positions, attraction, repulsion)
+        assert result.iterations <= 4
+
+    def test_converged_flag_on_progress_decay(self):
+        # A pure-attraction pair overshoots and decays quickly.
+        embedding = ForceDirectedEmbedding(
+            ForceParameters(max_iterations=50, time_step=1.0)
+        )
+        positions, forces = two_point_setup(-1.0)
+        result = embedding.run(positions, forces, np.zeros((2, 2)))
+        assert result.converged
+        assert result.iterations < 50
+
+    def test_input_not_mutated(self):
+        embedding = ForceDirectedEmbedding(ForceParameters(max_iterations=2))
+        positions, forces = two_point_setup(0.5)
+        original = positions.copy()
+        embedding.run(positions, np.zeros((2, 2)), forces / 0.5)
+        assert np.array_equal(positions, original)
+
+    def test_deterministic(self):
+        embedding = ForceDirectedEmbedding(ForceParameters(max_iterations=10))
+        rng = np.random.default_rng(1)
+        positions = rng.normal(size=(5, 2))
+        attraction = -rng.uniform(size=(5, 5))
+        repulsion = rng.uniform(size=(5, 5))
+        a = embedding.run(positions, attraction, repulsion)
+        b = embedding.run(positions, attraction, repulsion)
+        assert np.array_equal(a.positions, b.positions)
+
+
+class TestValidation:
+    def test_bad_position_shape(self):
+        embedding = ForceDirectedEmbedding()
+        with pytest.raises(ValueError):
+            embedding.run(np.zeros((3, 3)), np.zeros((3, 3)), np.zeros((3, 3)))
+
+    def test_force_shape_mismatch(self):
+        embedding = ForceDirectedEmbedding()
+        with pytest.raises(ValueError):
+            embedding.run(np.zeros((3, 2)), np.zeros((2, 2)), np.zeros((2, 2)))
+
+
+class TestNormalization:
+    def test_normalized_forces_bound_displacement(self):
+        """Displacement per iteration must not scale with fleet size."""
+        for n in (4, 40):
+            embedding = ForceDirectedEmbedding(
+                ForceParameters(max_iterations=1, normalize_forces=True)
+            )
+            positions = np.zeros((n, 2))
+            positions[:, 0] = np.arange(n, dtype=float)
+            repulsion = np.full((n, n), 1.0)
+            np.fill_diagonal(repulsion, 0.0)
+            result = embedding.run(positions, np.zeros((n, n)), repulsion)
+            drift = np.abs(result.positions - positions).max()
+            assert drift <= 1.0

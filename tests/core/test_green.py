@@ -1,0 +1,155 @@
+"""Green controller: source selection rules, conservation, cost."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_specs
+from repro.core.green import GreenController, GreenSlotResult
+from repro.datacenter.datacenter import Datacenter
+from repro.units import SECONDS_PER_HOUR
+
+
+@pytest.fixture
+def dc(specs) -> Datacenter:
+    return Datacenter(specs[0], index=0, seed=1)
+
+
+@pytest.fixture
+def controller() -> GreenController:
+    return GreenController(step_s=60.0)
+
+
+def flat_power(watts: float, steps: int = 60) -> np.ndarray:
+    return np.full(steps, watts)
+
+
+def peak_slot(dc) -> int:
+    """A slot inside the site's local-time peak window with no sun."""
+    for slot in range(24):
+        mid = (slot + 0.5) * SECONDS_PER_HOUR
+        if dc.spec.tariff.is_peak(mid) and float(dc.pv.power_watts(mid)) == 0.0:
+            return slot
+    raise AssertionError("no dark peak slot found")
+
+
+def offpeak_slot(dc) -> int:
+    for slot in range(24):
+        mid = (slot + 0.5) * SECONDS_PER_HOUR
+        if not dc.spec.tariff.is_peak(mid) and float(dc.pv.power_watts(mid)) == 0.0:
+            return slot
+    raise AssertionError("no dark off-peak slot found")
+
+
+class TestRules:
+    def test_peak_discharges_battery(self, dc, controller):
+        slot = peak_slot(dc)
+        soc_before = dc.battery.soc_joules
+        result = controller.run_slot(dc, slot, flat_power(500.0))
+        assert result.battery_discharged > 0.0
+        assert dc.battery.soc_joules < soc_before
+
+    def test_offpeak_charges_from_grid(self, dc, controller):
+        dc.battery.soc_joules = dc.battery.floor_joules  # empty usable
+        slot = offpeak_slot(dc)
+        result = controller.run_slot(dc, slot, flat_power(500.0))
+        assert result.grid_to_battery > 0.0
+        assert result.battery_discharged == 0.0
+        assert dc.battery.soc_joules > dc.battery.floor_joules
+
+    def test_pv_surplus_charges_battery(self, dc, controller):
+        dc.battery.soc_joules = dc.battery.floor_joules
+        result = controller.run_slot(dc, 12, flat_power(1.0))  # noon, tiny load
+        assert result.pv_stored > 0.0
+
+    def test_pv_covers_load_before_grid(self, dc, controller):
+        result = controller.run_slot(dc, 12, flat_power(10.0))
+        assert result.pv_used > 0.0
+        assert result.grid_to_load < result.facility_energy
+
+    def test_battery_never_below_floor(self, dc, controller):
+        slot = peak_slot(dc)
+        for offset in range(8):
+            controller.run_slot(dc, slot + 24 * offset, flat_power(5000.0))
+        assert dc.battery.soc_joules >= dc.battery.floor_joules - 1e-6
+
+    def test_zero_load_zero_cost(self, dc, controller):
+        slot = peak_slot(dc)
+        dc.battery.soc_joules = dc.battery.capacity_joules
+        result = controller.run_slot(dc, slot, flat_power(0.0))
+        assert result.grid_cost_eur == 0.0
+        assert result.grid_to_load == 0.0
+
+
+class TestAccounting:
+    def test_energy_conservation(self, dc, controller):
+        for slot in (2, 12, 20):
+            result = controller.run_slot(dc, slot, flat_power(800.0))
+            result.sanity_check()
+
+    def test_facility_energy_matches_input(self, dc, controller):
+        result = controller.run_slot(dc, 3, flat_power(700.0))
+        assert result.facility_energy == pytest.approx(700.0 * SECONDS_PER_HOUR)
+
+    def test_grid_energy_is_load_plus_charging(self, dc, controller):
+        dc.battery.soc_joules = dc.battery.floor_joules
+        slot = offpeak_slot(dc)
+        result = controller.run_slot(dc, slot, flat_power(500.0))
+        assert result.grid_energy == pytest.approx(
+            result.grid_to_load + result.grid_to_battery
+        )
+
+    def test_cost_matches_tariff(self, dc, controller):
+        """With a full battery unavailable, peak grid cost is price*energy."""
+        dc.battery.soc_joules = dc.battery.floor_joules
+        slot = peak_slot(dc)
+        result = controller.run_slot(dc, slot, flat_power(1000.0))
+        expected = dc.spec.tariff.cost_of(
+            result.grid_energy, (slot + 0.5) * SECONDS_PER_HOUR
+        )
+        assert result.grid_cost_eur == pytest.approx(expected, rel=1e-6)
+
+    def test_soc_bookkeeping(self, dc, controller):
+        start = dc.battery.soc_joules
+        result = controller.run_slot(dc, peak_slot(dc), flat_power(500.0))
+        assert result.soc_start == start
+        assert result.soc_end == dc.battery.soc_joules
+
+    def test_sanity_check_catches_corruption(self):
+        result = GreenSlotResult(
+            facility_energy=100.0,
+            pv_generated=0.0,
+            pv_used=0.0,
+            pv_stored=0.0,
+            pv_curtailed=0.0,
+            battery_discharged=0.0,
+            grid_to_load=50.0,  # should be 100
+            grid_to_battery=0.0,
+            grid_energy=50.0,
+            grid_cost_eur=0.0,
+            soc_start=0.0,
+            soc_end=0.0,
+        )
+        with pytest.raises(AssertionError):
+            result.sanity_check()
+
+
+class TestValidation:
+    def test_step_positive(self):
+        with pytest.raises(ValueError):
+            GreenController(step_s=0.0)
+
+    def test_charge_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            GreenController(grid_charge_fraction=1.5)
+
+    def test_power_must_be_1d(self, dc, controller):
+        with pytest.raises(ValueError):
+            controller.run_slot(dc, 0, np.zeros((2, 2)))
+
+    def test_power_nonnegative(self, dc, controller):
+        with pytest.raises(ValueError):
+            controller.run_slot(dc, 0, np.array([-1.0]))
+
+    def test_empty_power_rejected(self, dc, controller):
+        with pytest.raises(ValueError):
+            controller.run_slot(dc, 0, np.zeros(0))

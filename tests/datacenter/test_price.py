@@ -1,0 +1,79 @@
+"""Two-level tariffs: windows, time zones, cost accounting."""
+
+import pytest
+
+from repro.datacenter.price import TwoLevelTariff
+from repro.units import SECONDS_PER_HOUR, kwh_to_joules
+
+
+@pytest.fixture
+def tariff() -> TwoLevelTariff:
+    return TwoLevelTariff(
+        peak_price=0.20, offpeak_price=0.10, peak_start_hour=8.0, peak_end_hour=22.0
+    )
+
+
+class TestWindows:
+    def test_peak_inside_window(self, tariff):
+        assert tariff.is_peak(12 * SECONDS_PER_HOUR)
+
+    def test_offpeak_outside_window(self, tariff):
+        assert not tariff.is_peak(2 * SECONDS_PER_HOUR)
+
+    def test_start_inclusive(self, tariff):
+        assert tariff.is_peak(8 * SECONDS_PER_HOUR)
+
+    def test_end_exclusive(self, tariff):
+        assert not tariff.is_peak(22 * SECONDS_PER_HOUR)
+
+    def test_wrapping_window(self):
+        night_peak = TwoLevelTariff(peak_start_hour=22.0, peak_end_hour=6.0)
+        assert night_peak.is_peak(23 * SECONDS_PER_HOUR)
+        assert night_peak.is_peak(3 * SECONDS_PER_HOUR)
+        assert not night_peak.is_peak(12 * SECONDS_PER_HOUR)
+
+    def test_next_day_repeats(self, tariff):
+        assert tariff.is_peak((24 + 12) * SECONDS_PER_HOUR)
+
+
+class TestTimeZone:
+    def test_tz_shifts_window(self):
+        east = TwoLevelTariff(tz_offset_hours=2.0)
+        # 07:00 UTC is 09:00 local at UTC+2 -> peak.
+        assert east.is_peak(7 * SECONDS_PER_HOUR)
+        assert not TwoLevelTariff(tz_offset_hours=0.0).is_peak(7 * SECONDS_PER_HOUR)
+
+    def test_local_hour(self):
+        east = TwoLevelTariff(tz_offset_hours=2.0)
+        assert east.local_hour(1 * SECONDS_PER_HOUR) == pytest.approx(3.0)
+
+
+class TestPricing:
+    def test_price_levels(self, tariff):
+        assert tariff.price_per_kwh(12 * SECONDS_PER_HOUR) == 0.20
+        assert tariff.price_per_kwh(2 * SECONDS_PER_HOUR) == 0.10
+
+    def test_price_at_slot_mid_slot(self, tariff):
+        # Slot 7 spans 07:00-08:00; mid-slot 07:30 is off-peak.
+        assert tariff.price_at_slot(7) == 0.10
+        assert tariff.price_at_slot(8) == 0.20
+
+    def test_cost_of_one_kwh(self, tariff):
+        cost = tariff.cost_of(kwh_to_joules(1.0), 12 * SECONDS_PER_HOUR)
+        assert cost == pytest.approx(0.20)
+
+    def test_cost_negative_energy_rejected(self, tariff):
+        with pytest.raises(ValueError):
+            tariff.cost_of(-1.0, 0.0)
+
+
+class TestValidation:
+    def test_negative_prices_rejected(self):
+        with pytest.raises(ValueError):
+            TwoLevelTariff(peak_price=-0.1)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            TwoLevelTariff(peak_start_hour=25.0)
+        with pytest.raises(ValueError):
+            TwoLevelTariff(peak_end_hour=0.0)

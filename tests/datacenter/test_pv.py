@@ -1,0 +1,89 @@
+"""PV array: daylight window, scaling, weather determinism."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.pv import PVArray
+from repro.units import SECONDS_PER_HOUR
+
+
+@pytest.fixture
+def array() -> PVArray:
+    return PVArray(kwp=10.0, seed=4)
+
+
+class TestClearSky:
+    def test_zero_at_night(self, array):
+        assert float(array.clear_sky_fraction(2 * SECONDS_PER_HOUR)) == 0.0
+        assert float(array.clear_sky_fraction(23 * SECONDS_PER_HOUR)) == 0.0
+
+    def test_peak_near_midday(self, array):
+        noon = float(array.clear_sky_fraction(13 * SECONDS_PER_HOUR))
+        morning = float(array.clear_sky_fraction(8 * SECONDS_PER_HOUR))
+        assert noon > morning > 0.0
+
+    def test_bounded_unit(self, array):
+        times = np.arange(0, 24) * SECONDS_PER_HOUR
+        fractions = array.clear_sky_fraction(times)
+        assert np.all(fractions >= 0.0)
+        assert np.all(fractions <= 1.0)
+
+    def test_timezone_shifts_window(self):
+        utc = PVArray(kwp=1.0, tz_offset_hours=0.0)
+        east = PVArray(kwp=1.0, tz_offset_hours=6.0)
+        time_s = 6.5 * SECONDS_PER_HOUR  # 06:30 UTC = 12:30 at UTC+6
+        assert float(east.clear_sky_fraction(time_s)) > float(
+            utc.clear_sky_fraction(time_s)
+        )
+
+
+class TestWeather:
+    def test_factor_deterministic(self, array):
+        assert array.weather_factor(3) == array.weather_factor(3)
+
+    def test_factor_bounded(self, array):
+        factors = [array.weather_factor(day) for day in range(50)]
+        assert all(0.0 < factor <= 1.0 for factor in factors)
+
+    def test_seed_changes_weather(self):
+        a = PVArray(kwp=1.0, seed=1)
+        b = PVArray(kwp=1.0, seed=2)
+        days = range(30)
+        assert [a.weather_factor(d) for d in days] != [
+            b.weather_factor(d) for d in days
+        ]
+
+    def test_some_overcast_days_exist(self, array):
+        factors = [array.weather_factor(day) for day in range(60)]
+        assert min(factors) < 0.6
+
+
+class TestPower:
+    def test_scales_with_kwp(self):
+        small = PVArray(kwp=1.0, seed=9)
+        large = PVArray(kwp=10.0, seed=9)
+        t = 12 * SECONDS_PER_HOUR
+        assert float(large.power_watts(t)) == pytest.approx(
+            10.0 * float(small.power_watts(t))
+        )
+
+    def test_never_negative(self, array):
+        times = np.linspace(0, 72 * SECONDS_PER_HOUR, 500)
+        assert np.all(array.power_watts(times) >= 0.0)
+
+    def test_zero_kwp_always_zero(self):
+        dark = PVArray(kwp=0.0)
+        times = np.linspace(0, 24 * SECONDS_PER_HOUR, 100)
+        assert np.all(dark.power_watts(times) == 0.0)
+
+    def test_slot_energy_positive_at_noon(self, array):
+        assert array.slot_energy_joules(12) > 0.0
+
+    def test_slot_energy_zero_at_night(self, array):
+        assert array.slot_energy_joules(1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PVArray(kwp=-1.0)
+        with pytest.raises(ValueError):
+            PVArray(kwp=1.0, sunrise_hour=20.0, sunset_hour=6.0)

@@ -1,0 +1,100 @@
+"""Server model: capacities, power, DVFS selection."""
+
+import numpy as np
+import pytest
+
+from repro.datacenter.server import XEON_E5410, FrequencyLevel, ServerModel
+
+
+@pytest.fixture
+def model() -> ServerModel:
+    return XEON_E5410
+
+
+class TestValidation:
+    def test_frequency_positive(self):
+        with pytest.raises(ValueError):
+            FrequencyLevel(ghz=0.0, idle_watts=10.0, peak_watts=20.0)
+
+    def test_idle_not_above_peak(self):
+        with pytest.raises(ValueError):
+            FrequencyLevel(ghz=2.0, idle_watts=30.0, peak_watts=20.0)
+
+    def test_levels_must_be_sorted(self):
+        levels = (
+            FrequencyLevel(ghz=2.3, idle_watts=180.0, peak_watts=265.0),
+            FrequencyLevel(ghz=2.0, idle_watts=165.0, peak_watts=230.0),
+        )
+        with pytest.raises(ValueError, match="sorted"):
+            ServerModel(name="bad", cores=8, levels=levels)
+
+    def test_needs_at_least_one_level(self):
+        with pytest.raises(ValueError, match="level"):
+            ServerModel(name="bad", cores=8, levels=())
+
+    def test_cores_positive(self, model):
+        with pytest.raises(ValueError, match="cores"):
+            ServerModel(name="bad", cores=0, levels=model.levels)
+
+
+class TestCapacity:
+    def test_paper_reference_levels(self, model):
+        assert model.cores == 8
+        assert [level.ghz for level in model.levels] == [2.0, 2.3]
+
+    def test_max_capacity_is_cores(self, model):
+        assert model.max_capacity == 8.0
+
+    def test_low_level_capacity_scaled_by_frequency(self, model):
+        assert model.capacity(0) == pytest.approx(8.0 * 2.0 / 2.3)
+
+    def test_top_level_capacity_full(self, model):
+        assert model.capacity(1) == 8.0
+
+
+class TestPower:
+    def test_idle_power_at_zero_load(self, model):
+        assert model.power(0, 0.0) == model.levels[0].idle_watts
+
+    def test_peak_power_at_capacity(self, model):
+        assert model.power(1, 8.0) == model.levels[1].peak_watts
+
+    def test_linear_in_between(self, model):
+        level = model.levels[1]
+        half = model.power(1, 4.0)
+        expected = level.idle_watts + 0.5 * (level.peak_watts - level.idle_watts)
+        assert half == pytest.approx(expected)
+
+    def test_clipped_beyond_capacity(self, model):
+        assert model.power(1, 100.0) == model.levels[1].peak_watts
+
+    def test_negative_load_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.power(0, -1.0)
+
+    def test_power_trace_matches_scalar(self, model):
+        loads = np.array([0.0, 2.0, 5.0, 9.0])
+        trace = model.power_trace(1, loads)
+        scalars = [model.power(1, load) for load in loads]
+        assert np.allclose(trace, scalars)
+
+    def test_higher_level_higher_idle(self, model):
+        assert model.levels[1].idle_watts > model.levels[0].idle_watts
+
+
+class TestFrequencySelection:
+    def test_low_load_picks_low_level(self, model):
+        assert model.min_level_for(2.0) == 0
+
+    def test_high_load_picks_high_level(self, model):
+        assert model.min_level_for(7.5) == 1
+
+    def test_overload_falls_back_to_top(self, model):
+        assert model.min_level_for(20.0) == len(model.levels) - 1
+
+    def test_boundary_exact_capacity(self, model):
+        assert model.min_level_for(model.capacity(0)) == 0
+
+    def test_energy_per_core_hour_positive(self, model):
+        assert model.energy_per_core_hour(0) > 0.0
+        assert model.energy_per_core_hour(1) > 0.0

@@ -1,0 +1,75 @@
+"""CSV figure exports."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import export_all
+from repro.experiments.runner import run_comparison
+from repro.sim.config import scaled_config
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_comparison(scaled_config("tiny").with_horizon(6))
+
+
+@pytest.fixture(scope="module")
+def exported(results, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("exports")
+    return export_all(results, directory), directory
+
+
+def read_csv(path):
+    with path.open(newline="") as handle:
+        return list(csv.reader(handle))
+
+
+class TestExportAll:
+    def test_four_files_written(self, exported):
+        paths, _ = exported
+        assert sorted(path.name for path in paths) == [
+            "fig1_cost.csv",
+            "fig2_energy.csv",
+            "fig3_response.csv",
+            "summary.csv",
+        ]
+
+    def test_cost_columns(self, exported, results):
+        paths, directory = exported
+        rows = read_csv(directory / "fig1_cost.csv")
+        assert rows[0] == ["slot"] + [r.policy_name for r in results]
+        assert len(rows) == 1 + 6  # header + one row per slot
+
+    def test_cost_values_match(self, exported, results):
+        _, directory = exported
+        rows = read_csv(directory / "fig1_cost.csv")
+        measured = float(rows[1][1])
+        assert measured == pytest.approx(
+            float(results[0].hourly_cost_eur()[0]), rel=1e-5
+        )
+
+    def test_energy_rows(self, exported):
+        _, directory = exported
+        rows = read_csv(directory / "fig2_energy.csv")
+        assert len(rows) == 7
+        assert all(float(cell) >= 0.0 for cell in rows[1][1:])
+
+    def test_response_pdf_rows(self, exported):
+        _, directory = exported
+        rows = read_csv(directory / "fig3_response.csv")
+        assert rows[0][0] == "normalized_rt"
+        assert len(rows) == 41  # header + 40 bins
+
+    def test_summary_rows(self, exported, results):
+        _, directory = exported
+        rows = read_csv(directory / "summary.csv")
+        assert len(rows) == 1 + len(results)
+        assert rows[1][0] == "Proposed"
+        cost = float(rows[1][1])
+        assert cost == pytest.approx(results[0].total_grid_cost_eur(), rel=1e-5)
+
+    def test_directory_created(self, results, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        export_all(results, target)
+        assert (target / "summary.csv").exists()

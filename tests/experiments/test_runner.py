@@ -1,0 +1,57 @@
+"""Comparison runner: caching semantics."""
+
+import pytest
+
+from repro.experiments.runner import (
+    clear_cache,
+    default_policies,
+    run_comparison,
+)
+from repro.sim.config import scaled_config
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+def test_alpha_distinguishes_cache_entries():
+    config = scaled_config("tiny").with_horizon(3)
+    a = run_comparison(config, alpha=0.3)
+    b = run_comparison(config, alpha=0.7)
+    assert a is not b
+
+
+def test_horizon_distinguishes_cache_entries():
+    base = scaled_config("tiny")
+    a = run_comparison(base.with_horizon(3))
+    b = run_comparison(base.with_horizon(4))
+    assert a is not b
+    assert a[0].horizon == 3
+    assert b[0].horizon == 4
+
+
+def test_seed_distinguishes_cache_entries():
+    a = run_comparison(scaled_config("tiny", seed=1).with_horizon(3))
+    b = run_comparison(scaled_config("tiny", seed=2).with_horizon(3))
+    assert a is not b
+
+
+def test_cache_bypass():
+    config = scaled_config("tiny").with_horizon(3)
+    a = run_comparison(config)
+    b = run_comparison(config, use_cache=False)
+    assert a is not b
+    assert a[0].total_grid_cost_eur() == b[0].total_grid_cost_eur()
+
+
+def test_default_policies_order_and_names():
+    policies = default_policies()
+    assert [policy.name for policy in policies] == [
+        "Proposed",
+        "Ener-aware",
+        "Pri-aware",
+        "Net-aware",
+    ]

@@ -1,0 +1,85 @@
+"""Scenario study helpers."""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    SCENARIO_MIXES,
+    format_outcomes,
+    run_scenarios,
+    scenario_config,
+)
+from repro.sim.config import scaled_config
+from repro.workload.arrivals import VMPopulation
+from repro.workload.vm import AppType
+
+
+@pytest.fixture(scope="module")
+def base():
+    return scaled_config("tiny").with_horizon(4)
+
+
+class TestScenarioConfig:
+    def test_mix_applied(self, base):
+        config = scenario_config(base, "hpc")
+        assert config.arrival_model.app_mix == SCENARIO_MIXES["hpc"]
+        assert config.name.endswith("-hpc")
+
+    def test_unknown_rejected(self, base):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenario_config(base, "quantum")
+
+    def test_mix_shifts_population(self, base):
+        hpc = scenario_config(base, "hpc")
+        web = scenario_config(base, "scale-out")
+        hpc_pop = VMPopulation.generate(hpc.arrival_model, 24, seed=0)
+        web_pop = VMPopulation.generate(web.arrival_model, 24, seed=0)
+
+        def hpc_fraction(population):
+            vms = population.vms
+            return sum(vm.app_type is AppType.HPC for vm in vms) / len(vms)
+
+        assert hpc_fraction(hpc_pop) > hpc_fraction(web_pop)
+
+
+class TestRunScenarios:
+    def test_outcomes_per_scenario(self, base):
+        outcomes = run_scenarios(base, scenarios=("mixed",))
+        assert [outcome.scenario for outcome in outcomes] == ["mixed"]
+        outcome = outcomes[0]
+        assert outcome.proposed_cost_eur > 0.0
+        assert outcome.best_baseline_cost_eur > 0.0
+
+    def test_format(self, base):
+        outcomes = run_scenarios(base, scenarios=("mixed",))
+        table = format_outcomes(outcomes)
+        assert "mixed" in table
+        assert "saving %" in table.splitlines()[0]
+
+
+class TestAppMixValidation:
+    def test_negative_weight_rejected(self):
+        from repro.workload.vm import sample_app_type
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_app_type(rng, {AppType.WEB: -1.0, AppType.HPC: 2.0})
+
+    def test_zero_sum_rejected(self):
+        from repro.workload.vm import sample_app_type
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_app_type(rng, {AppType.WEB: 0.0})
+
+    def test_unnormalized_weights_accepted(self):
+        from repro.workload.vm import sample_app_type
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        draws = {
+            sample_app_type(rng, {AppType.WEB: 3.0, AppType.HPC: 1.0})
+            for _ in range(50)
+        }
+        assert draws <= {AppType.WEB, AppType.HPC}

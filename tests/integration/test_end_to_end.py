@@ -1,0 +1,101 @@
+"""End-to-end integration: the four methods over a shared workload."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EnerAwarePolicy,
+    NetAwarePolicy,
+    PriAwarePolicy,
+    ProposedPolicy,
+    run_policies,
+    scaled_config,
+)
+from repro.sim.metrics import format_comparison, normalized_costs
+
+
+@pytest.fixture(scope="module")
+def config():
+    return scaled_config("tiny")
+
+
+@pytest.fixture(scope="module")
+def results(config):
+    return run_policies(
+        config,
+        [ProposedPolicy(), EnerAwarePolicy(), PriAwarePolicy(), NetAwarePolicy()],
+    )
+
+
+class TestComparisonIntegrity:
+    def test_four_results(self, results):
+        assert len(results) == 4
+
+    def test_same_workload_observed(self, results):
+        reference = [slot.n_vms for slot in results[0].slots]
+        for result in results[1:]:
+            assert [slot.n_vms for slot in result.slots] == reference
+
+    def test_costs_positive(self, results):
+        for result in results:
+            assert result.total_grid_cost_eur() > 0.0
+
+    def test_energies_positive(self, results):
+        for result in results:
+            assert result.total_facility_energy_joules() > 0.0
+
+    def test_response_samples_exist(self, results):
+        for result in results:
+            assert result.response_samples().size > 0
+
+    def test_normalization_spans_unit(self, results):
+        norms = normalized_costs(results)
+        assert max(norms.values()) == pytest.approx(1.0)
+        assert min(norms.values()) > 0.0
+
+    def test_format_table_renders(self, results):
+        table = format_comparison(results)
+        assert len(table.splitlines()) == 6
+
+
+class TestPaperShape:
+    """Directional checks of the paper's headline orderings.
+
+    These use the tiny CI config, so only robust orderings are
+    asserted; the full-shape comparison lives in the benchmark
+    harness (see EXPERIMENTS.md).
+    """
+
+    def test_proposed_not_worst_on_cost(self, results):
+        norms = normalized_costs(results)
+        assert norms["Proposed"] < 1.0
+
+    def test_proposed_cheaper_than_ener_aware(self, results):
+        by_name = {result.policy_name: result for result in results}
+        assert (
+            by_name["Proposed"].total_grid_cost_eur()
+            < by_name["Ener-aware"].total_grid_cost_eur()
+        )
+
+    def test_proposed_exploits_renewables_best(self, results):
+        by_name = {result.policy_name: result for result in results}
+        proposed = by_name["Proposed"].renewable_utilization()
+        assert proposed >= by_name["Ener-aware"].renewable_utilization()
+
+    def test_proposed_better_mean_rt_than_ener(self, results):
+        by_name = {result.policy_name: result for result in results}
+        assert (
+            by_name["Proposed"].mean_response_s()
+            <= by_name["Ener-aware"].mean_response_s()
+        )
+
+
+class TestMigrationAccounting:
+    def test_migration_volume_consistent(self, results):
+        for result in results:
+            total = sum(slot.migration_volume_mb for slot in result.slots)
+            assert total == pytest.approx(result.total_migration_volume_mb())
+
+    def test_migration_counts_non_negative(self, results):
+        for result in results:
+            assert result.total_migrations() >= 0

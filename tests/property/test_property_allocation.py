@@ -1,0 +1,132 @@
+"""Property-based tests on the local allocators and Algorithm 2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_specs, make_vm
+from repro.core.local import allocate_correlation_aware, allocate_first_fit
+from repro.core.migration import revise_migrations
+from repro.datacenter.server import XEON_E5410
+from repro.network.ber import BERProcess
+from repro.network.latency import LatencyModel
+from repro.network.topology import GeoTopology
+
+
+@pytest.fixture(scope="module")
+def latency_model():
+    return LatencyModel(GeoTopology(make_specs()), BERProcess(seed=2))
+
+
+allocation_cases = st.tuples(
+    st.integers(0, 25),  # number of VMs
+    st.integers(1, 12),  # number of servers
+    st.integers(0, 10_000),  # seed
+)
+
+
+class TestAllocatorProperties:
+    @given(case=allocation_cases)
+    @settings(max_examples=60, deadline=None)
+    def test_correlation_aware_invariants(self, case):
+        n, servers, seed = case
+        rng = np.random.default_rng(seed)
+        demand = rng.uniform(0.0, 6.0, size=(n, 12))
+        allocation = allocate_correlation_aware(
+            list(range(n)), demand, XEON_E5410, servers
+        )
+        allocation.validate()
+        placed = sorted(v for vms in allocation.server_vms for v in vms)
+        assert placed == list(range(n))
+        assert allocation.active_servers <= servers
+
+    @given(case=allocation_cases)
+    @settings(max_examples=60, deadline=None)
+    def test_first_fit_invariants(self, case):
+        n, servers, seed = case
+        rng = np.random.default_rng(seed)
+        demand = rng.uniform(0.0, 6.0, size=(n, 12))
+        allocation = allocate_first_fit(
+            list(range(n)), demand, XEON_E5410, servers
+        )
+        allocation.validate()
+        assert allocation.vm_count() == n
+
+    @given(case=allocation_cases)
+    @settings(max_examples=40, deadline=None)
+    def test_aware_never_uses_more_servers(self, case):
+        """Combined-peak packing is at least as tight as sum-of-peaks."""
+        n, servers, seed = case
+        rng = np.random.default_rng(seed)
+        demand = rng.uniform(0.0, 4.0, size=(n, 12))
+        aware = allocate_correlation_aware(
+            list(range(n)), demand, XEON_E5410, servers
+        )
+        blind = allocate_first_fit(list(range(n)), demand, XEON_E5410, servers)
+        assert aware.active_servers <= blind.active_servers
+
+
+class TestMigrationProperties:
+    @given(
+        n=st.integers(1, 25),
+        seed=st.integers(0, 10_000),
+        constraint=st.floats(1e-3, 200.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_plan_always_complete_and_in_range(
+        self, latency_model, n, seed, constraint
+    ):
+        rng = np.random.default_rng(seed)
+        vms = [
+            make_vm(vm_id=i, image_gb=float(rng.choice([2.0, 4.0, 8.0])))
+            for i in range(n)
+        ]
+        target = rng.integers(0, 3, n)
+        previous = rng.integers(-1, 3, n)  # -1 = new arrival
+        plan = revise_migrations(
+            vms=vms,
+            target=target,
+            previous=previous,
+            positions=rng.normal(size=(n, 2)),
+            centroids=rng.normal(size=(3, 2)),
+            loads=rng.uniform(0.1, 2.0, n),
+            caps_cores=rng.uniform(0.5, 20.0, 3),
+            latency_model=latency_model,
+            slot=int(seed % 100),
+            latency_constraint_s=constraint,
+        )
+        assert set(plan.assignment) == {vm.vm_id for vm in vms}
+        assert all(0 <= dc < 3 for dc in plan.assignment.values())
+        # Old VMs end up either at home or at their k-means target.
+        for row, vm in enumerate(vms):
+            final = plan.assignment[vm.vm_id]
+            if previous[row] >= 0:
+                assert final in (int(previous[row]), int(target[row]))
+            else:
+                assert final == int(target[row])
+        # Executed moves and their volume ledger agree.
+        volume_from_moves = sum(move.image_mb for move in plan.moves)
+        assert plan.volumes_mb.sum() == pytest.approx(volume_from_moves)
+
+    @given(n=st.integers(1, 15), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_window_freezes_everything(self, latency_model, n, seed):
+        rng = np.random.default_rng(seed)
+        vms = [make_vm(vm_id=i) for i in range(n)]
+        previous = rng.integers(0, 3, n)
+        plan = revise_migrations(
+            vms=vms,
+            target=(previous + 1) % 3,
+            previous=previous,
+            positions=rng.normal(size=(n, 2)),
+            centroids=rng.normal(size=(3, 2)),
+            loads=np.ones(n),
+            caps_cores=np.full(3, 100.0),
+            latency_model=latency_model,
+            slot=0,
+            latency_constraint_s=1e-9,
+        )
+        assert not plan.moves
+        for row, vm in enumerate(vms):
+            assert plan.assignment[vm.vm_id] == int(previous[row])

@@ -1,0 +1,96 @@
+"""Property-based tests on the green controller and tariffs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_specs
+from repro.core.green import GreenController
+from repro.datacenter.datacenter import Datacenter
+from repro.datacenter.price import TwoLevelTariff
+from repro.units import SECONDS_PER_HOUR
+
+
+def fresh_dc(site_index: int = 0) -> Datacenter:
+    return Datacenter(make_specs()[site_index], index=site_index, seed=1)
+
+
+class TestGreenControllerProperties:
+    @given(
+        watts=st.floats(0.0, 5000.0, allow_nan=False),
+        slot=st.integers(0, 72),
+        soc_fraction=st.floats(0.0, 1.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ledger_conserves_for_any_state(self, watts, slot, soc_fraction):
+        dc = fresh_dc()
+        # Start anywhere in the *valid* SoC range [floor, capacity].
+        floor = dc.battery.floor_joules
+        dc.battery.soc_joules = floor + (
+            dc.battery.capacity_joules - floor
+        ) * soc_fraction
+        controller = GreenController(step_s=120.0)
+        ledger = controller.run_slot(dc, slot, np.full(30, watts))
+        ledger.sanity_check()
+        assert ledger.grid_cost_eur >= 0.0
+        assert dc.battery.floor_joules - 1e-6 <= dc.battery.soc_joules
+        assert dc.battery.soc_joules <= dc.battery.capacity_joules + 1e-6
+
+    @given(
+        watts=st.floats(10.0, 5000.0, allow_nan=False),
+        slot=st.integers(0, 48),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_more_load_never_cheaper(self, watts, slot):
+        def cost_for(power_watts: float) -> float:
+            dc = fresh_dc()
+            controller = GreenController(step_s=120.0)
+            return controller.run_slot(
+                dc, slot, np.full(30, power_watts)
+            ).grid_cost_eur
+
+        assert cost_for(watts * 2.0) >= cost_for(watts) - 1e-9
+
+    @given(slot=st.integers(0, 48))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_load_never_discharges(self, slot):
+        dc = fresh_dc()
+        controller = GreenController(step_s=120.0)
+        ledger = controller.run_slot(dc, slot, np.zeros(30))
+        assert ledger.battery_discharged == 0.0
+        assert ledger.grid_to_load == 0.0
+
+
+class TestTariffProperties:
+    @given(
+        time_s=st.floats(0.0, 1e7, allow_nan=False),
+        peak=st.floats(0.01, 1.0, allow_nan=False),
+        ratio=st.floats(0.1, 1.0, allow_nan=False),
+        tz=st.floats(-12.0, 12.0, allow_nan=False),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_price_is_one_of_two_levels(self, time_s, peak, ratio, tz):
+        tariff = TwoLevelTariff(
+            peak_price=peak, offpeak_price=peak * ratio, tz_offset_hours=tz
+        )
+        price = tariff.price_per_kwh(time_s)
+        assert price in (tariff.peak_price, tariff.offpeak_price)
+
+    @given(time_s=st.floats(0.0, 1e7, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_24h_periodicity(self, time_s):
+        tariff = TwoLevelTariff()
+        day = 24.0 * SECONDS_PER_HOUR
+        assert tariff.is_peak(time_s) == tariff.is_peak(time_s + day)
+
+    @given(
+        joules=st.floats(0.0, 1e9, allow_nan=False),
+        time_s=st.floats(0.0, 1e6, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cost_linear_in_energy(self, joules, time_s):
+        tariff = TwoLevelTariff()
+        assert tariff.cost_of(2 * joules, time_s) == pytest.approx(
+            2 * tariff.cost_of(joules, time_s)
+        )

@@ -1,0 +1,85 @@
+"""Post-run auditor."""
+
+import pytest
+
+from repro.baselines.net_aware import NetAwarePolicy
+from repro.core.controller import ProposedPolicy
+from repro.sim.audit import AuditReport, audit_run
+from repro.sim.config import scaled_config
+from repro.sim.engine import SimulationEngine
+
+
+@pytest.fixture(scope="module")
+def run_and_config():
+    config = scaled_config("tiny").with_horizon(6)
+    result = SimulationEngine(config, ProposedPolicy()).run()
+    return result, config
+
+
+class TestCleanRuns:
+    def test_proposed_run_passes(self, run_and_config):
+        result, config = run_and_config
+        report = audit_run(result, config)
+        assert report.passed, report.violations
+        assert report.checks_run > 100
+
+    def test_baseline_run_passes(self):
+        config = scaled_config("tiny").with_horizon(4)
+        result = SimulationEngine(config, NetAwarePolicy()).run()
+        report = audit_run(result, config)
+        assert report.passed, report.violations
+
+    def test_raise_if_failed_noop_when_clean(self, run_and_config):
+        result, config = run_and_config
+        audit_run(result, config).raise_if_failed()
+
+
+class TestViolationDetection:
+    def test_horizon_mismatch_detected(self, run_and_config):
+        result, config = run_and_config
+        short = config.with_horizon(99)
+        report = audit_run(result, short)
+        assert not report.passed
+        assert any("horizon" in violation for violation in report.violations)
+
+    def test_corrupted_ledger_detected(self, run_and_config):
+        result, config = run_and_config
+        green = result.slots[2].dc_records[0].green
+        original = green.grid_to_load
+        green.grid_to_load = original + 1.0e6
+        try:
+            report = audit_run(result, config)
+            assert not report.passed
+            assert any("sources" in violation for violation in report.violations)
+        finally:
+            green.grid_to_load = original
+
+    def test_negative_cost_detected(self, run_and_config):
+        result, config = run_and_config
+        green = result.slots[1].dc_records[1].green
+        original = green.grid_cost_eur
+        green.grid_cost_eur = -1.0
+        try:
+            report = audit_run(result, config)
+            assert any("cost" in violation for violation in report.violations)
+        finally:
+            green.grid_cost_eur = original
+
+    def test_soc_discontinuity_detected(self, run_and_config):
+        result, config = run_and_config
+        green = result.slots[3].dc_records[0].green
+        original = green.soc_start
+        green.soc_start = original + 5.0e6
+        try:
+            report = audit_run(result, config)
+            assert any(
+                "discontinuity" in violation for violation in report.violations
+            )
+        finally:
+            green.soc_start = original
+
+    def test_raise_lists_violations(self):
+        report = AuditReport(policy_name="X")
+        report.record(False, "boom")
+        with pytest.raises(AssertionError, match="boom"):
+            report.raise_if_failed()

@@ -1,0 +1,95 @@
+"""Cross-run metrics: normalization, improvements, PDFs."""
+
+import numpy as np
+import pytest
+
+from tests.sim.test_results import record
+from repro.sim.metrics import (
+    cost_improvements,
+    energy_improvements,
+    format_comparison,
+    improvement_pct,
+    normalized_costs,
+    performance_improvements,
+    response_time_pdf,
+)
+from repro.sim.results import RunResult
+
+
+def run_named(name, n_slots=2):
+    return RunResult(
+        policy_name=name,
+        config_name="unit",
+        slots=[record(slot) for slot in range(n_slots)],
+    )
+
+
+@pytest.fixture
+def results():
+    cheap = run_named("Proposed", n_slots=1)
+    pricey = run_named("Ener-aware", n_slots=2)
+    return [cheap, pricey]
+
+
+class TestNormalizedCosts:
+    def test_worst_is_one(self, results):
+        norms = normalized_costs(results)
+        assert norms["Ener-aware"] == pytest.approx(1.0)
+        assert norms["Proposed"] == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert normalized_costs([]) == {}
+
+
+class TestImprovements:
+    def test_improvement_pct(self):
+        assert improvement_pct(100.0, 75.0) == pytest.approx(25.0)
+        assert improvement_pct(100.0, 120.0) == pytest.approx(-20.0)
+        assert improvement_pct(0.0, 5.0) == 0.0
+
+    def test_cost_improvements(self, results):
+        savings = cost_improvements(results, reference="Proposed")
+        assert savings["Ener-aware"] == pytest.approx(50.0)
+
+    def test_energy_improvements(self, results):
+        savings = energy_improvements(results, reference="Proposed")
+        assert savings["Ener-aware"] == pytest.approx(50.0)
+
+    def test_performance_improvements(self, results):
+        # Identical distributions -> zero improvement.
+        perf = performance_improvements(results, reference="Proposed")
+        assert perf["Ener-aware"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_missing_reference_raises(self, results):
+        with pytest.raises(KeyError):
+            cost_improvements(results, reference="Nope")
+
+
+class TestResponsePdf:
+    def test_density_integrates_to_one(self):
+        samples = np.random.default_rng(0).uniform(0.0, 2.0, 5000)
+        centers, density = response_time_pdf(samples, bins=20)
+        width = centers[1] - centers[0]
+        assert float((density * width).sum()) == pytest.approx(1.0, rel=1e-6)
+
+    def test_common_upper_normalization(self):
+        samples = np.array([0.4, 0.9])
+        centers, density = response_time_pdf(samples, bins=4, upper=2.0)
+        # Normalized samples are 0.2 and 0.45: lower half of [0, 1] only.
+        assert density[centers > 0.5].sum() == 0.0
+
+    def test_empty_samples(self):
+        centers, density = response_time_pdf(np.zeros(0))
+        assert centers.size == 0
+        assert density.size == 0
+
+
+class TestFormatting:
+    def test_format_contains_all_policies(self, results):
+        table = format_comparison(results)
+        assert "Proposed" in table
+        assert "Ener-aware" in table
+
+    def test_format_has_header(self, results):
+        table = format_comparison(results)
+        assert "cost EUR" in table.splitlines()[0]

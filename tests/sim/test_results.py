@@ -1,0 +1,138 @@
+"""Result ledgers: aggregations from hand-built records."""
+
+import numpy as np
+import pytest
+
+from repro.core.green import GreenSlotResult
+from repro.sim.results import DCSlotRecord, RunResult, SlotRecord
+
+
+def green(facility=1000.0, grid_load=600.0, grid_batt=100.0, cost=0.05,
+          pv_gen=500.0, pv_used=300.0, pv_stored=100.0):
+    return GreenSlotResult(
+        facility_energy=facility,
+        pv_generated=pv_gen,
+        pv_used=pv_used,
+        pv_stored=pv_stored,
+        pv_curtailed=pv_gen - pv_used - pv_stored,
+        battery_discharged=facility - pv_used - grid_load,
+        grid_to_load=grid_load,
+        grid_to_battery=grid_batt,
+        grid_energy=grid_load + grid_batt,
+        grid_cost_eur=cost,
+        soc_start=0.0,
+        soc_end=0.0,
+    )
+
+
+def record(slot, latencies=(0.5, 1.0), receiving=(3, 2), migrations=1):
+    dc_records = [
+        DCSlotRecord(
+            green=green(),
+            it_energy_joules=800.0,
+            active_servers=2,
+            response_latency_s=latency,
+            receiving_vms=count,
+        )
+        for latency, count in zip(latencies, receiving)
+    ]
+    return SlotRecord(
+        slot=slot,
+        n_vms=5,
+        migrations=migrations,
+        migration_volume_mb=2000.0,
+        dc_records=dc_records,
+    )
+
+
+@pytest.fixture
+def run() -> RunResult:
+    return RunResult(
+        policy_name="Test",
+        config_name="unit",
+        slots=[record(0), record(1, latencies=(2.0, 0.1), receiving=(1, 4))],
+    )
+
+
+class TestSlotRecord:
+    def test_grid_cost_sums_dcs(self):
+        slot = record(0)
+        assert slot.grid_cost_eur == pytest.approx(0.10)
+
+    def test_facility_energy_sums_dcs(self):
+        slot = record(0)
+        assert slot.facility_energy_joules == pytest.approx(2000.0)
+
+    def test_grid_energy_sums_dcs(self):
+        slot = record(0)
+        assert slot.grid_energy_joules == pytest.approx(1400.0)
+
+    def test_response_samples_weighted_by_receivers(self):
+        samples = record(0).response_samples()
+        assert samples.shape == (5,)
+        assert np.sum(samples == 0.5) == 3
+        assert np.sum(samples == 1.0) == 2
+
+    def test_no_receivers_no_samples(self):
+        slot = record(0, receiving=(0, 0))
+        assert slot.response_samples().size == 0
+
+
+class TestRunResult:
+    def test_total_cost(self, run):
+        assert run.total_grid_cost_eur() == pytest.approx(0.20)
+
+    def test_hourly_cost_series(self, run):
+        assert np.allclose(run.hourly_cost_eur(), [0.10, 0.10])
+
+    def test_total_energy(self, run):
+        assert run.total_facility_energy_joules() == pytest.approx(4000.0)
+        assert run.total_energy_gj() == pytest.approx(4000.0 / 1e9)
+
+    def test_hourly_energy_series(self, run):
+        assert np.allclose(run.hourly_energy_joules(), [2000.0, 2000.0])
+
+    def test_grid_energy_total(self, run):
+        assert run.total_grid_energy_joules() == pytest.approx(2800.0)
+
+    def test_renewable_utilization(self, run):
+        # (pv_used + pv_stored) / generated per the fixture's green ledger.
+        assert run.renewable_utilization() == pytest.approx(400.0 / 500.0)
+
+    def test_response_samples_concatenated(self, run):
+        assert run.response_samples().shape == (10,)
+
+    def test_mean_and_worst_response(self, run):
+        samples = run.response_samples()
+        assert run.mean_response_s() == pytest.approx(float(samples.mean()))
+        assert run.worst_response_s() == pytest.approx(2.0)
+
+    def test_percentile_response(self, run):
+        assert run.percentile_response_s(50.0) <= run.percentile_response_s(99.0)
+
+    def test_migration_totals(self, run):
+        assert run.total_migrations() == 2
+        assert run.total_migration_volume_mb() == pytest.approx(4000.0)
+
+    def test_mean_active_servers(self, run):
+        assert run.mean_active_servers() == pytest.approx(4.0)
+
+    def test_summary_keys(self, run):
+        summary = run.summary()
+        for key in (
+            "policy",
+            "cost_eur",
+            "energy_gj",
+            "mean_rt_s",
+            "worst_rt_s",
+            "migrations",
+        ):
+            assert key in summary
+
+    def test_empty_run_safe(self):
+        empty = RunResult(policy_name="Empty", config_name="unit")
+        assert empty.total_grid_cost_eur() == 0.0
+        assert empty.mean_response_s() == 0.0
+        assert empty.worst_response_s() == 0.0
+        assert empty.mean_active_servers() == 0.0
+        assert empty.renewable_utilization() == 0.0

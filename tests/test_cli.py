@@ -1,0 +1,81 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--scale", "galactic"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.scale == "small"
+        assert args.alpha == 0.5
+        assert args.seed == 0
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "DC1" in out
+        assert "Lisbon" in out
+
+    def test_compare(self, capsys):
+        code = main(["compare", "--scale", "tiny", "--horizon", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Proposed" in out
+        assert "normalized operational cost" in out
+
+    def test_figures(self, capsys):
+        code = main(["figures", "--scale", "tiny", "--horizon", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+        assert "Fig. 6" in out
+
+    def test_alpha_sweep(self, capsys):
+        code = main(
+            ["alpha", "--scale", "tiny", "--horizon", "3", "--alphas", "0.2,0.8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0.20" in out
+        assert "Pareto" in out
+
+    def test_bound(self, capsys):
+        code = main(["bound", "--scale", "tiny", "--horizon", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LP bound" in out
+
+    def test_sweep_battery(self, capsys):
+        code = main(["sweep", "battery", "--scale", "tiny", "--horizon", "3"])
+        assert code == 0
+        assert "battery_scale" in capsys.readouterr().out
+
+    def test_scenarios(self, capsys):
+        code = main(["scenarios", "--scale", "tiny", "--horizon", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scale-out" in out
+        assert "hpc" in out
+
+    def test_export(self, capsys, tmp_path):
+        code = main(
+            ["export", str(tmp_path / "csv"), "--scale", "tiny", "--horizon", "3"]
+        )
+        assert code == 0
+        assert (tmp_path / "csv" / "summary.csv").exists()

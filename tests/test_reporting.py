@@ -1,0 +1,80 @@
+"""ASCII reporting helpers."""
+
+import numpy as np
+
+from repro.reporting import bar_chart, histogram, series_panel, sparkline
+
+
+class TestBarChart:
+    def test_labels_present(self):
+        chart = bar_chart({"alpha": 1.0, "beta": 0.5})
+        assert "alpha" in chart
+        assert "beta" in chart
+
+    def test_max_gets_full_width(self):
+        chart = bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_zero_values_safe(self):
+        chart = bar_chart({"a": 0.0})
+        assert "a" in chart
+
+
+class TestSparkline:
+    def test_length_capped(self):
+        line = sparkline(np.arange(500), width=40)
+        assert len(line) == 40
+
+    def test_short_series_kept(self):
+        line = sparkline(np.arange(5), width=40)
+        assert len(line) == 5
+
+    def test_monotone_series_ends_high(self):
+        line = sparkline(np.arange(100), width=20)
+        assert line[-1] == "@"
+        assert line[0] == " "
+
+    def test_constant_series_safe(self):
+        line = sparkline(np.ones(10))
+        assert len(line) == 10
+
+    def test_empty(self):
+        assert sparkline(np.zeros(0)) == "(no data)"
+
+
+class TestHistogram:
+    def test_dimensions(self):
+        text = histogram(np.random.default_rng(0).uniform(0, 1, 100), bins=20, height=5)
+        lines = text.splitlines()
+        assert len(lines) == 7  # 5 rows + axis + label
+        assert all(len(line) <= 20 for line in lines[:5])
+
+    def test_empty(self):
+        assert histogram(np.zeros(0)) == "(no data)"
+
+    def test_upper_normalization(self):
+        samples = np.array([0.1, 0.2])
+        text = histogram(samples, bins=10, upper=1.0)
+        assert "1" in text.splitlines()[-1]
+
+
+class TestSeriesPanel:
+    def test_multiple_series(self):
+        panel = series_panel(
+            {"one": np.arange(10.0), "two": np.ones(10)}
+        )
+        assert "one" in panel
+        assert "two" in panel
+        assert "[0, 9]" in panel
+
+    def test_empty_dict(self):
+        assert series_panel({}) == "(no data)"
+
+    def test_empty_series_entry(self):
+        panel = series_panel({"gone": np.zeros(0)})
+        assert "(no data)" in panel

@@ -1,0 +1,45 @@
+"""Deterministic RNG derivation."""
+
+import numpy as np
+import pytest
+
+from repro.seeding import rng_for, seed_sequence
+
+
+def test_same_tags_same_stream():
+    a = rng_for(1, "x", 5).random(8)
+    b = rng_for(1, "x", 5).random(8)
+    assert np.array_equal(a, b)
+
+
+def test_different_int_tags_differ():
+    a = rng_for(1, "x", 5).random(8)
+    b = rng_for(1, "x", 6).random(8)
+    assert not np.array_equal(a, b)
+
+
+def test_different_string_tags_differ():
+    a = rng_for(1, "alpha").random(8)
+    b = rng_for(1, "beta").random(8)
+    assert not np.array_equal(a, b)
+
+
+def test_string_hash_is_stable():
+    # blake2s of "ber" must never change across runs/platforms.
+    entropy = seed_sequence("ber").entropy
+    assert entropy == seed_sequence("ber").entropy
+
+
+def test_negative_ints_accepted():
+    assert rng_for(-3, 0).random() == rng_for(-3, 0).random()
+
+
+def test_empty_parts_rejected():
+    with pytest.raises(ValueError):
+        seed_sequence()
+
+
+def test_order_matters():
+    a = rng_for(1, 2).random(4)
+    b = rng_for(2, 1).random(4)
+    assert not np.array_equal(a, b)

@@ -1,0 +1,142 @@
+"""Trace library: shapes, ranges, determinism, diurnal structure."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_vm
+from repro.workload.traces import (
+    PROFILES,
+    SLOTS_PER_DAY,
+    TraceLibrary,
+    diurnal_mean,
+)
+from repro.workload.vm import AppType
+
+
+@pytest.fixture
+def library() -> TraceLibrary:
+    return TraceLibrary(steps_per_slot=60, seed=11)
+
+
+class TestDiurnalMean:
+    def test_peak_at_peak_hour(self):
+        profile = PROFILES[AppType.WEB]
+        at_peak = diurnal_mean(profile, profile.peak_hour)
+        off_peak = diurnal_mean(profile, (profile.peak_hour + 12.0) % 24.0)
+        assert at_peak > off_peak
+
+    def test_wraps_24h(self):
+        profile = PROFILES[AppType.BATCH]
+        assert diurnal_mean(profile, 1.0) == pytest.approx(
+            float(diurnal_mean(profile, 25.0))
+        )
+
+    def test_within_unit_interval(self):
+        hours = np.linspace(0, 24, 97)
+        for profile in PROFILES.values():
+            means = diurnal_mean(profile, hours)
+            assert np.all(means > 0.0)
+            assert np.all(means < 1.0)
+
+    def test_hpc_flatter_than_web(self):
+        hours = np.linspace(0, 24, 97)
+        web = diurnal_mean(PROFILES[AppType.WEB], hours)
+        hpc = diurnal_mean(PROFILES[AppType.HPC], hours)
+        assert np.ptp(web) > np.ptp(hpc)
+
+
+class TestSlotTrace:
+    def test_shape(self, library):
+        trace = library.slot_trace(make_vm(), 0)
+        assert trace.shape == (60,)
+
+    def test_bounded(self, library):
+        for slot in (0, 30, 100):
+            trace = library.slot_trace(make_vm(seed=5), slot)
+            assert np.all(trace >= 0.0)
+            assert np.all(trace <= 1.0)
+
+    def test_deterministic(self, library):
+        vm = make_vm(seed=5)
+        assert np.array_equal(library.slot_trace(vm, 3), library.slot_trace(vm, 3))
+
+    def test_different_slots_differ(self, library):
+        vm = make_vm(seed=5)
+        assert not np.array_equal(library.slot_trace(vm, 3), library.slot_trace(vm, 4))
+
+    def test_different_vms_differ(self, library):
+        a = make_vm(vm_id=0, seed=5)
+        b = make_vm(vm_id=1, seed=6)
+        assert not np.array_equal(library.slot_trace(a, 3), library.slot_trace(b, 3))
+
+    def test_library_seed_changes_traces(self):
+        vm = make_vm(seed=5)
+        a = TraceLibrary(steps_per_slot=30, seed=1).slot_trace(vm, 0)
+        b = TraceLibrary(steps_per_slot=30, seed=2).slot_trace(vm, 0)
+        assert not np.array_equal(a, b)
+
+    def test_invalid_steps_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLibrary(steps_per_slot=0)
+
+
+class TestWeekExtension:
+    def test_same_mean_across_days(self, library):
+        """Days 1..6 replay day 0's hourly mean (the paper's extension)."""
+        vm = make_vm(seed=21, app_type=AppType.BATCH)
+        for hour in (2, 14):
+            assert library.slot_mean(vm, hour) == pytest.approx(
+                library.slot_mean(vm, hour + SLOTS_PER_DAY)
+            )
+
+    def test_extension_adds_variance(self):
+        library = TraceLibrary(steps_per_slot=400, extension_sigma=0.2, seed=2)
+        vm = make_vm(seed=8, app_type=AppType.HPC)
+        day0 = library.slot_trace(vm, 9)
+        day3 = library.slot_trace(vm, 9 + 3 * SLOTS_PER_DAY)
+        assert day3.std() > day0.std()
+
+    def test_realized_trace_tracks_slot_mean(self, library):
+        vm = make_vm(seed=31, app_type=AppType.HPC)
+        trace = library.slot_trace(vm, 9)
+        assert trace.mean() == pytest.approx(library.slot_mean(vm, 9), abs=0.1)
+
+
+class TestDemand:
+    def test_demand_scales_with_cores(self, library):
+        vm = make_vm(cores=3.0, seed=4)
+        assert np.allclose(
+            library.slot_demand(vm, 2), library.slot_trace(vm, 2) * 3.0
+        )
+
+    def test_demand_matrix_alignment(self, library, six_vms):
+        matrix = library.demand_matrix(six_vms, 1)
+        assert matrix.shape == (6, 60)
+        assert np.array_equal(matrix[2], library.slot_demand(six_vms[2], 1))
+
+    def test_demand_matrix_empty(self, library):
+        assert library.demand_matrix([], 0).shape == (0, 60)
+
+    def test_phase_shifts_peak(self):
+        library = TraceLibrary(steps_per_slot=30, seed=3)
+        base = make_vm(vm_id=0, seed=9, phase_hours=0.0, app_type=AppType.WEB)
+        shifted = make_vm(vm_id=0, seed=9, phase_hours=6.0, app_type=AppType.WEB)
+        means_base = [library.slot_mean(base, s) for s in range(24)]
+        means_shift = [library.slot_mean(shifted, s) for s in range(24)]
+        assert int(np.argmax(means_base)) != int(np.argmax(means_shift))
+
+
+class TestCorrelationStructure:
+    def test_same_type_vms_positively_correlated(self):
+        """Same archetype + phase -> coincident diurnal peaks."""
+        library = TraceLibrary(steps_per_slot=30, seed=13)
+        a = make_vm(vm_id=0, seed=1, app_type=AppType.WEB)
+        b = make_vm(vm_id=1, seed=2, app_type=AppType.WEB)
+        c = make_vm(vm_id=2, seed=3, app_type=AppType.BATCH)
+        day_a = np.concatenate([library.slot_trace(a, s) for s in range(24)])
+        day_b = np.concatenate([library.slot_trace(b, s) for s in range(24)])
+        day_c = np.concatenate([library.slot_trace(c, s) for s in range(24)])
+        same = np.corrcoef(day_a, day_b)[0, 1]
+        cross = np.corrcoef(day_a, day_c)[0, 1]
+        assert same > 0.5
+        assert same > cross

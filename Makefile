@@ -1,0 +1,22 @@
+# Developer entry points for the PahlevanVA16 reproduction.
+#
+#   make test        - tier-1 test suite (fast; what CI gates on)
+#   make bench-smoke - tiny-scale benchmark suite: orchestrator fan-out,
+#                      result-store warm hits and the engine's per-slot
+#                      hot paths (loop vs vectorized)
+#   make bench       - full benchmark harness (slow: one-week comparison)
+
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: test bench-smoke bench
+
+test:
+	$(PYTEST) -x -q
+
+bench-smoke:
+	$(PYTEST) -q benchmarks/bench_orchestrator.py \
+		benchmarks/bench_scaling.py -k "orchestrator or it_power or response_latencies or bench" \
+		--benchmark-min-rounds=3
+
+bench:
+	$(PYTEST) -q benchmarks

@@ -1,0 +1,122 @@
+"""Orchestrator benchmarks: parallel fan-out and result-store hits.
+
+Measures the two properties the orchestration layer exists for:
+
+* **serial vs ``jobs=N`` wall time** -- the (policy x seed) grid of a
+  tiny comparison fanned out over worker processes, with the results
+  asserted bit-identical to the serial run;
+* **cold vs warm store** -- the same grid resolved against a
+  disk-backed :class:`~repro.experiments.orchestrator.ResultStore`:
+  the warm pass must skip recomputation entirely (every artifact comes
+  from the store) and be far faster than simulating.
+
+Run via ``make bench-smoke`` (or directly with pytest).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import REPORT_DIR, write_report
+from repro.experiments.orchestrator import (
+    Orchestrator,
+    ResultStore,
+    grid_requests,
+)
+from repro.experiments.runner import default_policies
+from repro.sim.config import scaled_config
+
+#: Parallel workers used by the fan-out benchmark.  Defaults to the
+#: host's core count: on a single-core box the pool cannot beat serial
+#: execution, only prove equivalence (the report records the core
+#: count so the ratio is interpretable).
+JOBS = int(
+    os.environ.get("REPRO_BENCH_JOBS", str(min(4, os.cpu_count() or 1)))
+)
+
+#: Seeds replicated in the benchmark grid (seeds x 4 policies runs).
+SEEDS = (0, 1)
+
+
+def bench_grid():
+    """The tiny-scale (policy x seed) grid both benchmarks resolve."""
+    config = scaled_config("tiny").with_horizon(8)
+    return grid_requests([config], lambda _: default_policies(), seeds=list(SEEDS))
+
+
+def test_serial_vs_parallel_wall_time(report_dir):
+    """jobs=N fan-out returns bit-identical results; report the timing."""
+    jobs = max(JOBS, 2)  # always exercise the process-pool path
+    serial_orchestrator = Orchestrator(store=ResultStore(), jobs=1)
+    start = time.perf_counter()
+    serial = serial_orchestrator.run_many(bench_grid())
+    serial_s = time.perf_counter() - start
+
+    parallel_orchestrator = Orchestrator(store=ResultStore(), jobs=jobs)
+    start = time.perf_counter()
+    parallel = parallel_orchestrator.run_many(bench_grid())
+    parallel_s = time.perf_counter() - start
+
+    assert len(serial) == len(parallel) == len(SEEDS) * 4
+    for a, b in zip(serial, parallel):
+        assert a.fingerprint == b.fingerprint
+        assert a.result.slots == b.result.slots
+
+    write_report(
+        report_dir,
+        "orchestrator_parallel.txt",
+        [
+            "orchestrator fan-out: serial vs parallel (tiny grid, "
+            f"{len(serial)} runs, {os.cpu_count()} cores)",
+            f"  serial (jobs=1):   {serial_s:8.3f} s",
+            f"  parallel (jobs={jobs}): {parallel_s:8.3f} s",
+            f"  speedup:           {serial_s / parallel_s:8.2f} x"
+            " (bounded by available cores)",
+            "  results: bit-identical",
+        ],
+    )
+
+
+def test_cold_vs_warm_store(report_dir, tmp_path):
+    """A warm store resolves the whole grid without simulating."""
+    root = tmp_path / "store"
+
+    cold_store = ResultStore(root)
+    start = time.perf_counter()
+    cold = Orchestrator(store=cold_store).run_many(bench_grid())
+    cold_s = time.perf_counter() - start
+    assert all(artifact.source == "computed" for artifact in cold)
+
+    # Fresh store object: memory layer empty, disk layer warm.
+    warm_store = ResultStore(root)
+    start = time.perf_counter()
+    warm = Orchestrator(store=warm_store).run_many(bench_grid())
+    warm_s = time.perf_counter() - start
+
+    assert all(artifact.source == "disk" for artifact in warm)
+    assert warm_store.stats()["misses"] == 0
+    for a, b in zip(cold, warm):
+        assert a.result.slots == b.result.slots
+    assert warm_s < cold_s
+
+    write_report(
+        report_dir,
+        "orchestrator_store.txt",
+        [
+            f"result store: cold vs warm (tiny grid, {len(cold)} runs)",
+            f"  cold (simulate + persist): {cold_s:8.3f} s",
+            f"  warm (disk hits only):     {warm_s:8.3f} s",
+            f"  speedup:                   {cold_s / warm_s:8.1f} x",
+            f"  warm store stats: {warm_store.stats()}",
+        ],
+    )
+
+
+def test_warm_memory_resolution_latency(benchmark):
+    """Steady-state latency of resolving the grid from the memory layer."""
+    store = ResultStore()
+    orchestrator = Orchestrator(store=store)
+    orchestrator.run_many(bench_grid())
+    artifacts = benchmark(orchestrator.run_many, bench_grid())
+    assert all(artifact.source == "memory" for artifact in artifacts)

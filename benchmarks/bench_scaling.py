@@ -1,9 +1,12 @@
-"""Controller scaling: wall time of each phase vs fleet size.
+"""Controller and engine scaling: wall time of each phase vs fleet size.
 
 The paper argues the two-phase split keeps the controller cheap enough
 for real-time hourly invocation.  These micro-benchmarks time each
 phase (embedding, constrained k-means, Algorithm 2, local allocation)
-on synthetic fleets of growing size.
+on synthetic fleets of growing size, plus the engine's per-slot
+physics hot paths (`_dc_it_power`, `_response_latencies`) in both the
+reference-loop and vectorized implementations -- the vectorized path
+must be measurably faster per slot while staying bit-identical.
 """
 
 import numpy as np
@@ -19,6 +22,8 @@ from repro.datacenter.server import XEON_E5410
 from repro.network.ber import BERProcess
 from repro.network.latency import LatencyModel
 from repro.network.topology import GeoTopology
+from repro.sim.config import scaled_config
+from repro.sim.engine import SimulationEngine
 
 
 def synthetic_inputs(n_vms: int, steps: int = 60, seed: int = 0):
@@ -94,3 +99,78 @@ def test_local_allocation_scaling(benchmark, n_vms):
         max(n_vms // 2, 1),
     )
     assert allocation.vm_count() == n_vms
+
+
+# -- engine per-slot physics hot paths ---------------------------------
+
+
+class _SyntheticPlacement:
+    """Bare placement stand-in for the engine hot-path benchmarks."""
+
+    def __init__(self, allocations=None, assignment=None):
+        self.allocations = allocations
+        self.assignment = assignment
+
+
+def _physics_engine(steps: int) -> SimulationEngine:
+    import dataclasses
+
+    from repro.baselines import EnerAwarePolicy
+
+    config = dataclasses.replace(
+        scaled_config("tiny"), name="bench", horizon_slots=1, steps_per_slot=steps
+    )
+    return SimulationEngine(config, EnerAwarePolicy())
+
+
+def _it_power_inputs(n_vms: int, steps: int = 720, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    demand = rng.uniform(0.05, 0.8, size=(n_vms, steps))
+    vm_rows = {i: i for i in range(n_vms)}
+    allocation = allocate_correlation_aware(
+        list(range(n_vms)), demand, XEON_E5410, n_vms
+    )
+    placement = _SyntheticPlacement(allocations=[allocation])
+    return placement, vm_rows, demand
+
+
+@pytest.mark.parametrize("impl", ["loop", "vectorized"])
+@pytest.mark.parametrize("n_vms", [300, 1000])
+def test_it_power_per_slot(benchmark, impl, n_vms):
+    """Per-slot IT-power: vectorized segment sums vs reference loops."""
+    engine = _physics_engine(steps=720)
+    placement, vm_rows, demand = _it_power_inputs(n_vms)
+    path = (
+        engine._dc_it_power_vectorized
+        if impl == "vectorized"
+        else engine._dc_it_power_loop
+    )
+    power, active = benchmark(path, placement, 0, vm_rows, demand)
+    reference, _ = engine._dc_it_power_loop(placement, 0, vm_rows, demand)
+    assert np.array_equal(power, reference)
+    assert active == placement.allocations[0].active_servers
+
+
+@pytest.mark.parametrize("impl", ["loop", "vectorized"])
+@pytest.mark.parametrize("n_vms", [150, 450])
+def test_response_latencies_per_slot(benchmark, impl, n_vms):
+    """Per-slot Eq. 1 evaluation: grouped volume matrix vs dict loops."""
+    rng = np.random.default_rng(3)
+    engine = _physics_engine(steps=60)
+    vms = [
+        make_vm(vm_id=i, service_id=i // 5, seed=i) for i in range(n_vms)
+    ]
+    volumes = np.exp(rng.normal(1.0, 1.0, size=(n_vms, n_vms)))
+    np.fill_diagonal(volumes, 0.0)
+    placement = _SyntheticPlacement(
+        assignment={vm.vm_id: int(rng.integers(0, 3)) for vm in vms}
+    )
+    path = (
+        engine._response_latencies_vectorized
+        if impl == "vectorized"
+        else engine._response_latencies_loop
+    )
+    latencies = benchmark(path, placement, vms, volumes, 5)
+    assert latencies == engine._response_latencies_loop(
+        placement, vms, volumes, 5
+    )

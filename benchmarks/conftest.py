@@ -6,12 +6,20 @@ the `small` scale recorded in DESIGN.md -- same 3-site fleet shape as
 Table I, 48 servers, ~150 simultaneous VMs, 60 s control sampling) and
 every figure benchmark derives its report from it.
 
+The comparison goes through the experiment orchestrator with a
+*persistent* result store under ``benchmarks/.result_store``: the
+first session simulates (in parallel when ``REPRO_BENCH_JOBS`` is
+set), later sessions load the bit-identical ledgers from disk and the
+figure benchmarks start instantly.  Delete the store directory to
+force a cold run.
+
 Each benchmark also writes its paper-vs-measured report under
 ``benchmarks/reports/`` so a run leaves an auditable record.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -19,11 +27,15 @@ import pytest
 from repro.datacenter.datacenter import DatacenterSpec
 from repro.datacenter.price import TwoLevelTariff
 from repro.datacenter.pue import FreeCoolingPUE
+from repro.experiments.orchestrator import Orchestrator, ResultStore
 from repro.experiments.runner import run_comparison
 from repro.sim.config import scaled_config
 from repro.workload.vm import AppType, VirtualMachine
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+#: Persistent cross-session result store for the benchmark harness.
+STORE_DIR = pathlib.Path(__file__).parent / ".result_store"
 
 #: Horizon used by the ablation benchmarks (shorter than the figures'
 #: full week to keep the suite quick).
@@ -36,9 +48,16 @@ def week_config():
 
 
 @pytest.fixture(scope="session")
-def week_results(week_config):
+def bench_orchestrator():
+    """Disk-backed orchestrator shared by the whole benchmark session."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return Orchestrator(store=ResultStore(STORE_DIR), jobs=jobs)
+
+
+@pytest.fixture(scope="session")
+def week_results(week_config, bench_orchestrator):
     """The one-week, four-method comparison behind Figs. 1-6."""
-    return run_comparison(week_config)
+    return run_comparison(week_config, orchestrator=bench_orchestrator)
 
 
 @pytest.fixture(scope="session")

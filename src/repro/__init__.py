@@ -30,7 +30,9 @@ Sub-packages:
 * :mod:`repro.network` -- geo topology and the Eq. 1-4 latency model,
 * :mod:`repro.workload` -- VMs, traces, arrival and data processes,
 * :mod:`repro.sim` -- configs, engine, metrics, results,
-* :mod:`repro.experiments` -- one runner per paper figure.
+* :mod:`repro.experiments` -- one runner per paper figure, plus the
+  orchestration layer (parallel run fan-out and the fingerprint-keyed
+  persistent result store) every experiment executes through.
 """
 
 from repro.analysis import (
@@ -42,6 +44,13 @@ from repro.analysis import (
 from repro.baselines import EnerAwarePolicy, NetAwarePolicy, PriAwarePolicy
 from repro.core import ProposedPolicy
 from repro.core.forces import ForceParameters
+from repro.experiments import (
+    Orchestrator,
+    ResultStore,
+    RunRequest,
+    run_comparison,
+    run_replicated_comparison,
+)
 from repro.sim import (
     ExperimentConfig,
     RunResult,
@@ -64,14 +73,19 @@ __all__ = [
     "ExperimentConfig",
     "ForceParameters",
     "NetAwarePolicy",
+    "Orchestrator",
     "PriAwarePolicy",
     "ProposedPolicy",
+    "ResultStore",
+    "RunRequest",
     "RunResult",
     "SimulationEngine",
     "__version__",
     "format_comparison",
     "normalized_costs",
     "paper_config",
+    "run_comparison",
     "run_policies",
+    "run_replicated_comparison",
     "scaled_config",
 ]

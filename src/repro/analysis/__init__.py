@@ -12,9 +12,18 @@
 """
 
 from repro.analysis.forecast_eval import ForecastAccuracy, evaluate_forecaster
-from repro.analysis.lower_bound import CostLowerBound, operational_cost_lower_bound
+from repro.analysis.lower_bound import (
+    CostLowerBound,
+    comparison_bounds,
+    operational_cost_lower_bound,
+)
 from repro.analysis.pareto import ParetoPoint, alpha_sweep, pareto_front
-from repro.analysis.sensitivity import SweepRow, sweep_battery_scale, sweep_qos
+from repro.analysis.sensitivity import (
+    SweepRow,
+    sweep_battery_scale,
+    sweep_pv_scale,
+    sweep_qos,
+)
 
 __all__ = [
     "CostLowerBound",
@@ -22,9 +31,11 @@ __all__ = [
     "ParetoPoint",
     "SweepRow",
     "alpha_sweep",
+    "comparison_bounds",
     "evaluate_forecaster",
     "operational_cost_lower_bound",
     "pareto_front",
     "sweep_battery_scale",
+    "sweep_pv_scale",
     "sweep_qos",
 ]

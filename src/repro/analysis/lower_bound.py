@@ -224,3 +224,26 @@ def operational_cost_lower_bound(
         per_dc_cost_eur=tuple(per_dc),
         actual_cost_eur=result.total_grid_cost_eur(),
     )
+
+
+def comparison_bounds(
+    config: ExperimentConfig,
+    alpha: float = 0.5,
+    jobs: int = 1,
+    orchestrator=None,
+) -> list[tuple[RunResult, CostLowerBound]]:
+    """Four-method comparison with the sourcing bound per policy.
+
+    Obtains the comparison runs through the experiment orchestrator
+    (parallel with ``jobs > 1``, cached by the result store) and solves
+    the offline LP for each; the LP itself is cheap next to the runs.
+    """
+    from repro.experiments.runner import run_comparison
+
+    results = run_comparison(
+        config, alpha=alpha, jobs=jobs, orchestrator=orchestrator
+    )
+    return [
+        (result, operational_cost_lower_bound(result, config))
+        for result in results
+    ]

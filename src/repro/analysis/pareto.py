@@ -13,8 +13,8 @@ from dataclasses import dataclass
 
 from repro.core.controller import ProposedPolicy
 from repro.core.forces import ForceParameters
+from repro.experiments.orchestrator import Orchestrator, RunRequest
 from repro.sim.config import ExperimentConfig
-from repro.sim.engine import SimulationEngine
 
 #: Percentile used as the SLA-relevant response-time statistic.
 WORST_CASE_PERCENTILE = 99.0
@@ -47,12 +47,35 @@ class ParetoPoint:
 def alpha_sweep(
     config: ExperimentConfig,
     alphas: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    jobs: int = 1,
+    orchestrator: Orchestrator | None = None,
 ) -> list[ParetoPoint]:
-    """Run the proposed controller once per alpha over one workload."""
+    """Run the proposed controller once per alpha over one workload.
+
+    The alphas fan out as one orchestrator batch: with ``jobs > 1``
+    they run in parallel worker processes, and previously evaluated
+    alphas come back from the result store.
+    """
+    from repro.experiments.runner import default_orchestrator
+
+    orchestrator = orchestrator or default_orchestrator()
+    if jobs != 1:
+        orchestrator = Orchestrator(
+            store=orchestrator.store,
+            jobs=jobs,
+            use_store=orchestrator.use_store,
+        )
+    requests = [
+        RunRequest(
+            config=config,
+            policy=ProposedPolicy(force_params=ForceParameters(alpha=alpha)),
+        )
+        for alpha in alphas
+    ]
+    artifacts = orchestrator.run_many(requests)
     points = []
-    for alpha in alphas:
-        policy = ProposedPolicy(force_params=ForceParameters(alpha=alpha))
-        result = SimulationEngine(config, policy).run()
+    for alpha, artifact in zip(alphas, artifacts):
+        result = artifact.result
         points.append(
             ParetoPoint(
                 alpha=alpha,

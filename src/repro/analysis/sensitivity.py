@@ -3,7 +3,9 @@
 Generic helpers that rerun the proposed controller while varying one
 infrastructure parameter (battery size, migration QoS window, PV
 size), producing tidy rows for tables, examples and the ablation
-benchmarks.
+benchmarks.  Each sweep submits its whole configuration grid as one
+orchestrator batch, so sweep points run in parallel with ``jobs > 1``
+and repeat evaluations resolve from the result store.
 """
 
 from __future__ import annotations
@@ -12,8 +14,9 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.core.controller import ProposedPolicy
+from repro.experiments.orchestrator import Orchestrator, grid_requests
 from repro.sim.config import ExperimentConfig
-from repro.sim.engine import SimulationEngine
+from repro.sim.results import RunResult
 
 
 @dataclass(frozen=True)
@@ -29,8 +32,7 @@ class SweepRow:
     response_p99_s: float
 
 
-def _run(config: ExperimentConfig, parameter: str, value: float) -> SweepRow:
-    result = SimulationEngine(config, ProposedPolicy()).run()
+def _row_from(result: RunResult, parameter: str, value: float) -> SweepRow:
     return SweepRow(
         parameter=parameter,
         value=value,
@@ -42,52 +44,80 @@ def _run(config: ExperimentConfig, parameter: str, value: float) -> SweepRow:
     )
 
 
+def _run_grid(
+    configs: list[ExperimentConfig],
+    parameter: str,
+    values: tuple[float, ...],
+    jobs: int,
+    orchestrator: Orchestrator | None,
+) -> list[SweepRow]:
+    from repro.experiments.runner import default_orchestrator
+
+    orchestrator = orchestrator or default_orchestrator()
+    if jobs != 1:
+        orchestrator = Orchestrator(
+            store=orchestrator.store,
+            jobs=jobs,
+            use_store=orchestrator.use_store,
+        )
+    artifacts = orchestrator.run_many(
+        grid_requests(configs, lambda _: [ProposedPolicy()])
+    )
+    return [
+        _row_from(artifact.result, parameter, value)
+        for artifact, value in zip(artifacts, values)
+    ]
+
+
 def sweep_battery_scale(
     config: ExperimentConfig,
     scales: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0),
+    jobs: int = 1,
+    orchestrator: Orchestrator | None = None,
 ) -> list[SweepRow]:
     """Rerun with every DC's battery scaled by each factor.
 
     Measures how much of the proposed method's cost advantage comes
     from battery arbitrage (Table I sizing = scale 1.0).
     """
-    rows = []
+    configs = []
     for scale in scales:
         specs = tuple(
             dataclasses.replace(spec, battery_kwh=spec.battery_kwh * scale)
             for spec in config.specs
         )
-        scaled = dataclasses.replace(config, specs=specs)
-        rows.append(_run(scaled, "battery_scale", scale))
-    return rows
+        configs.append(dataclasses.replace(config, specs=specs))
+    return _run_grid(configs, "battery_scale", scales, jobs, orchestrator)
 
 
 def sweep_qos(
     config: ExperimentConfig,
     qos_levels: tuple[float, ...] = (0.9995, 0.995, 0.98, 0.95),
+    jobs: int = 1,
+    orchestrator: Orchestrator | None = None,
 ) -> list[SweepRow]:
     """Rerun with different migration QoS windows (Algorithm 2)."""
-    rows = []
-    for qos in qos_levels:
-        scaled = dataclasses.replace(config, qos=qos)
-        rows.append(_run(scaled, "qos", qos))
-    return rows
+    configs = [
+        dataclasses.replace(config, qos=qos) for qos in qos_levels
+    ]
+    return _run_grid(configs, "qos", qos_levels, jobs, orchestrator)
 
 
 def sweep_pv_scale(
     config: ExperimentConfig,
     scales: tuple[float, ...] = (0.0, 1.0, 2.0),
+    jobs: int = 1,
+    orchestrator: Orchestrator | None = None,
 ) -> list[SweepRow]:
     """Rerun with every DC's PV array scaled by each factor."""
-    rows = []
+    configs = []
     for scale in scales:
         specs = tuple(
             dataclasses.replace(spec, pv_kwp=spec.pv_kwp * scale)
             for spec in config.specs
         )
-        scaled = dataclasses.replace(config, specs=specs)
-        rows.append(_run(scaled, "pv_scale", scale))
-    return rows
+        configs.append(dataclasses.replace(config, specs=specs))
+    return _run_grid(configs, "pv_scale", scales, jobs, orchestrator)
 
 
 def format_rows(rows: list[SweepRow]) -> str:

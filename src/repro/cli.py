@@ -13,16 +13,22 @@ Commands
 * ``export``     -- dump every figure's data as CSV
 
 All commands accept ``--scale {small,tiny}``, ``--horizon N`` and
-``--seed N``; runs are deterministic per seed.
+``--seed N``; runs are deterministic per seed.  Execution goes through
+the experiment orchestrator: ``--jobs N`` fans uncached runs out over
+N worker processes, ``--store DIR`` persists results on disk keyed by
+request fingerprint (warm reruns skip simulation entirely),
+``--no-cache`` forces recomputation, and ``--seeds N`` replicates the
+comparison over N seeds with mean / 95 % CI reporting.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 
 import numpy as np
 
-from repro.analysis.lower_bound import operational_cost_lower_bound
+from repro.analysis.lower_bound import comparison_bounds
 from repro.analysis.pareto import alpha_sweep, pareto_front
 from repro.analysis.sensitivity import (
     format_rows,
@@ -31,21 +37,20 @@ from repro.analysis.sensitivity import (
     sweep_qos,
 )
 from repro.experiments.figures import (
-    fig1_operational_cost,
-    fig2_energy,
-    fig3_response_time,
-    fig4_totals,
-    fig5_cost_performance,
-    fig6_energy_performance,
+    all_figure_reports,
     render,
     table1_rows,
 )
 from repro.experiments.export import export_all
-from repro.experiments.runner import run_comparison
+from repro.experiments.orchestrator import Orchestrator, ResultStore
+from repro.experiments.runner import (
+    run_comparison,
+    run_replicated_comparison,
+)
 from repro.experiments.scenarios import format_outcomes, run_scenarios
 from repro.reporting import bar_chart, histogram, series_panel
 from repro.sim.config import ExperimentConfig, paper_config, scaled_config
-from repro.sim.metrics import format_comparison
+from repro.sim.metrics import format_comparison, format_replicated_comparison
 
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
@@ -56,6 +61,30 @@ def _config_from(args: argparse.Namespace) -> ExperimentConfig:
     if args.horizon:
         config = config.with_horizon(args.horizon)
     return config
+
+
+def _orchestrator_from(args: argparse.Namespace) -> Orchestrator:
+    """Build the execution backend the command's flags describe."""
+    if args.store:
+        root = pathlib.Path(args.store)
+        if root.exists() and not root.is_dir():
+            raise SystemExit(f"error: --store {args.store!r} is not a directory")
+        store = ResultStore(root)
+    else:
+        store = ResultStore.from_environment()
+    return Orchestrator(
+        store=store, jobs=args.jobs, use_store=not args.no_cache
+    )
+
+
+def _comparison_from(args: argparse.Namespace) -> list:
+    config = _config_from(args)
+    return run_comparison(
+        config,
+        alpha=args.alpha,
+        use_cache=not args.no_cache,
+        orchestrator=_orchestrator_from(args),
+    )
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
@@ -71,9 +100,22 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    """Run the four-method comparison and print the summary table."""
+    """Run the four-method comparison and print the summary table.
+
+    With ``--seeds N > 1`` the comparison replicates over seeds
+    ``seed .. seed+N-1`` and reports mean / 95 % CI per metric.
+    """
     config = _config_from(args)
-    results = run_comparison(config, alpha=args.alpha)
+    if args.seeds > 1:
+        replicates = run_replicated_comparison(
+            config,
+            alpha=args.alpha,
+            seeds=tuple(range(args.seed, args.seed + args.seeds)),
+            orchestrator=_orchestrator_from(args),
+        )
+        print(format_replicated_comparison(replicates))
+        return 0
+    results = _comparison_from(args)
     print(format_comparison(results))
     print()
     print("normalized operational cost:")
@@ -91,16 +133,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 def cmd_figures(args: argparse.Namespace) -> int:
     """Regenerate every figure report (Figs. 1-6) plus ASCII panels."""
-    config = _config_from(args)
-    results = run_comparison(config, alpha=args.alpha)
-    for report in (
-        fig1_operational_cost(results),
-        fig2_energy(results),
-        fig3_response_time(results),
-        fig4_totals(results),
-        fig5_cost_performance(results),
-        fig6_energy_performance(results),
-    ):
+    results = _comparison_from(args)
+    for report in all_figure_reports(results):
         print(render(report))
         print()
     print("hourly energy (GJ) per method:")
@@ -123,7 +157,7 @@ def cmd_alpha(args: argparse.Namespace) -> int:
     """Sweep Eq. 5's alpha and mark the Pareto-efficient settings."""
     config = _config_from(args)
     alphas = tuple(float(a) for a in args.alphas.split(","))
-    points = alpha_sweep(config, alphas)
+    points = alpha_sweep(config, alphas, orchestrator=_orchestrator_from(args))
     front = {point.alpha for point in pareto_front(points)}
     print(
         f"{'alpha':>6} {'cost EUR':>10} {'energy GJ':>10} "
@@ -141,12 +175,13 @@ def cmd_alpha(args: argparse.Namespace) -> int:
 def cmd_bound(args: argparse.Namespace) -> int:
     """Compare each policy's realized cost against the LP oracle."""
     config = _config_from(args)
-    results = run_comparison(config, alpha=args.alpha)
+    bounds = comparison_bounds(
+        config, alpha=args.alpha, orchestrator=_orchestrator_from(args)
+    )
     print(
         f"{'policy':<12} {'cost EUR':>10} {'LP bound':>10} {'gap %':>7}"
     )
-    for result in results:
-        bound = operational_cost_lower_bound(result, config)
+    for result, bound in bounds:
         print(
             f"{result.policy_name:<12} {bound.actual_cost_eur:>10.2f} "
             f"{bound.total_cost_eur:>10.2f} {bound.gap_pct:>7.1f}"
@@ -161,15 +196,16 @@ def cmd_bound(args: argparse.Namespace) -> int:
 def cmd_scenarios(args: argparse.Namespace) -> int:
     """Run the workload-mix scenario study."""
     config = _config_from(args)
-    outcomes = run_scenarios(config, alpha=args.alpha)
+    outcomes = run_scenarios(
+        config, alpha=args.alpha, orchestrator=_orchestrator_from(args)
+    )
     print(format_outcomes(outcomes))
     return 0
 
 
 def cmd_export(args: argparse.Namespace) -> int:
     """Write every figure's data series to CSV files."""
-    config = _config_from(args)
-    results = run_comparison(config, alpha=args.alpha)
+    results = _comparison_from(args)
     written = export_all(results, args.directory)
     for path in written:
         print(f"wrote {path}")
@@ -184,7 +220,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         "qos": sweep_qos,
         "pv": sweep_pv_scale,
     }
-    rows = sweeps[args.parameter](config)
+    rows = sweeps[args.parameter](
+        config, orchestrator=_orchestrator_from(args)
+    )
     print(format_rows(rows))
     return 0
 
@@ -207,6 +245,29 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--horizon", type=int, default=None)
         sub.add_argument("--seed", type=int, default=0)
         sub.add_argument("--alpha", type=float, default=0.5)
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for uncached runs (1 = serial)",
+        )
+        sub.add_argument(
+            "--seeds",
+            type=int,
+            default=1,
+            help="replicate over N seeds and report mean/CI (compare)",
+        )
+        sub.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="recompute even when the result store has the runs",
+        )
+        sub.add_argument(
+            "--store",
+            default=None,
+            metavar="DIR",
+            help="persistent result-store root (default: $REPRO_RESULT_STORE)",
+        )
 
     table1 = subparsers.add_parser("table1", help="print Table I")
     add_common(table1)

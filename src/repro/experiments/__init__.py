@@ -11,8 +11,10 @@ One entry point per table/figure of the paper's evaluation (Section V):
 * :func:`~repro.experiments.figures.fig6_energy_performance`.
 
 :func:`~repro.experiments.runner.run_comparison` executes the four
-policies over one workload realization (cached per config within a
-process, since all figures share the same week-long run).
+policies over one workload realization through
+:mod:`repro.experiments.orchestrator`, which owns fingerprint-keyed
+caching (memory + optional persistent disk store) and process-pool
+fan-out of uncached runs.
 """
 
 from repro.experiments.figures import (
@@ -26,10 +28,27 @@ from repro.experiments.figures import (
     table1_rows,
 )
 from repro.experiments.export import export_all
-from repro.experiments.runner import default_policies, run_comparison
+from repro.experiments.orchestrator import (
+    EngineOptions,
+    Orchestrator,
+    ResultStore,
+    RunArtifact,
+    RunRequest,
+    grid_requests,
+)
+from repro.experiments.runner import (
+    default_policies,
+    run_comparison,
+    run_replicated_comparison,
+)
 
 __all__ = [
+    "EngineOptions",
+    "Orchestrator",
     "PAPER_CLAIMS",
+    "ResultStore",
+    "RunArtifact",
+    "RunRequest",
     "default_policies",
     "export_all",
     "fig1_operational_cost",
@@ -38,6 +57,8 @@ __all__ = [
     "fig4_totals",
     "fig5_cost_performance",
     "fig6_energy_performance",
+    "grid_requests",
     "run_comparison",
+    "run_replicated_comparison",
     "table1_rows",
 ]

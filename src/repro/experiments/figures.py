@@ -255,6 +255,23 @@ def fig6_energy_performance(results: list[RunResult]) -> dict:
     }
 
 
+def all_figure_reports(results: list[RunResult]) -> list[dict]:
+    """Every figure report (Figs. 1-6) from one comparison, in order.
+
+    The results may come from any orchestrator path -- a cold serial
+    run, a parallel fan-out or a warm result store -- they are
+    bit-identical, so the reports are too.
+    """
+    return [
+        fig1_operational_cost(results),
+        fig2_energy(results),
+        fig3_response_time(results),
+        fig4_totals(results),
+        fig5_cost_performance(results),
+        fig6_energy_performance(results),
+    ]
+
+
 def render(report: dict) -> str:
     """Human-readable text for any figure report."""
     lines = [f"== {report['id']} =="]

@@ -1,0 +1,483 @@
+"""Parallel experiment orchestration with a persistent result store.
+
+Every deliverable of the reproduction -- the figure comparisons, the
+alpha Pareto sweep, the sensitivity sweeps, the LP bound and the
+scenario study -- reduces to evaluating a grid of *(configuration x
+policy x seed)* simulation runs.  This module owns that evaluation:
+
+* :class:`RunRequest` names one run: an
+  :class:`~repro.sim.config.ExperimentConfig`, a policy, an optional
+  seed override and the :class:`EngineOptions` flags.  Its
+  :meth:`~RunRequest.fingerprint` is a SHA-256 over the canonicalized
+  request, the unit of caching.
+* :class:`ResultStore` maps fingerprints to
+  :class:`~repro.sim.results.RunResult`, in memory and (optionally) on
+  disk, replacing the old process-local ``_CACHE`` dict of
+  ``experiments/runner.py``.
+* :class:`Orchestrator` resolves batches of requests against the store
+  and fans the misses out over a ``ProcessPoolExecutor``.  Runs are
+  deterministic per request, so parallel and serial execution produce
+  identical :class:`~repro.sim.results.RunResult` ledgers.
+
+Result-store layout
+-------------------
+
+A disk-backed store rooted at ``root`` holds one JSON document per
+run::
+
+    root/v1/<fp[:2]>/<fingerprint>.json
+
+``v1`` is :data:`STORE_VERSION`; bumping it (because the engine's
+numerics or the serialization schema changed) orphans every old entry
+at once.  Each document records the store version, the full request
+descriptor (for audit/debugging) and the serialized result.  Floats
+survive the JSON round trip bit-for-bit (shortest-repr doubles), so a
+warm store reproduces a cold run exactly.
+
+Cache-invalidation (fingerprint) rules
+--------------------------------------
+
+The fingerprint hashes the *complete* canonicalized request:
+
+* every ``ExperimentConfig`` field, recursively -- fleet specs,
+  tariffs, PUE models, arrival model (including the app mix), horizon,
+  sampling rate, QoS and seed;
+* the policy descriptor -- class name plus all public constructor
+  state (:meth:`~repro.sim.state.PlacementPolicy.descriptor`);
+* the :class:`EngineOptions` flags that change results
+  (``clairvoyant``) or their provenance (``validate``, ``vectorized``);
+* :data:`STORE_VERSION`.
+
+Anything that could change a run's numbers therefore changes its key;
+entries never need explicit invalidation, only garbage collection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.sim.config import ExperimentConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import RunResult
+from repro.sim.state import PlacementPolicy
+
+#: Version of the on-disk schema *and* of the engine numerics contract.
+#: Bump on any change that alters stored bytes or simulated numbers.
+STORE_VERSION = 1
+
+#: Environment variable naming a default on-disk store root.
+STORE_ENV_VAR = "REPRO_RESULT_STORE"
+
+
+@dataclass(frozen=True)
+class EngineOptions:
+    """Engine flags a :class:`RunRequest` threads through to the engine.
+
+    Attributes
+    ----------
+    validate:
+        Validate every placement against its observation.
+    clairvoyant:
+        Give policies the current slot's traces (perfect forecast).
+    vectorized:
+        Use the engine's vectorized hot paths (bit-identical to the
+        reference loops; part of the fingerprint for provenance only).
+    """
+
+    validate: bool = True
+    clairvoyant: bool = False
+    vectorized: bool = True
+
+
+def canonical(value):
+    """Canonicalize ``value`` into JSON-stable plain data.
+
+    Handles dataclasses, enums (and enum-keyed dicts), functions,
+    numpy scalars and arbitrary objects with public attribute state.
+    Deterministic: equal configurations canonicalize to equal trees.
+    """
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, enum.Enum):
+        return {"__enum__": type(value).__qualname__, "name": value.name}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__class__": type(value).__qualname__,
+            **{
+                f.name: canonical(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(canonical(key)): canonical(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if callable(value) and hasattr(value, "__qualname__"):
+        return {
+            "__function__": f"{getattr(value, '__module__', '?')}."
+            f"{value.__qualname__}"
+        }
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return value.item()  # numpy scalar
+    if hasattr(value, "__dict__"):
+        return {
+            "__class__": type(value).__qualname__,
+            **{
+                key: canonical(val)
+                for key, val in sorted(vars(value).items())
+                if not key.startswith("_")
+            },
+        }
+    raise TypeError(f"cannot canonicalize {type(value).__name__}: {value!r}")
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One simulation run: config x policy x seed x engine flags.
+
+    Attributes
+    ----------
+    config:
+        The experiment configuration.
+    policy:
+        The placement policy instance to run (a fresh engine is built
+        around it; its cross-slot state is reset at run start).
+    seed:
+        Optional seed override; ``None`` keeps ``config.seed``.  The
+        replication helpers use this to fan one config out over seeds.
+    options:
+        Engine flags threaded through to the engine.
+    """
+
+    config: ExperimentConfig
+    policy: PlacementPolicy
+    seed: int | None = None
+    options: EngineOptions = field(default_factory=EngineOptions)
+
+    def resolved_config(self) -> ExperimentConfig:
+        """The config with the seed override applied."""
+        if self.seed is None or self.seed == self.config.seed:
+            return self.config
+        return dataclasses.replace(self.config, seed=self.seed)
+
+    def descriptor(self) -> dict:
+        """Full canonical description of the request (hashed + stored)."""
+        return {
+            "store_version": STORE_VERSION,
+            "config": canonical(self.resolved_config()),
+            "policy": canonical(self.policy.descriptor()),
+            "options": canonical(self.options),
+        }
+
+    def fingerprint(self) -> str:
+        """SHA-256 hex digest keying this run in the result store."""
+        blob = json.dumps(self.descriptor(), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class RunArtifact:
+    """A resolved request: the result plus its provenance.
+
+    Attributes
+    ----------
+    fingerprint:
+        The request's store key.
+    result:
+        The run ledger.
+    source:
+        Where the result came from: ``"computed"``, ``"memory"`` or
+        ``"disk"``.
+    elapsed_s:
+        Wall time spent obtaining the result (0 for memory hits).
+    """
+
+    fingerprint: str
+    result: RunResult
+    source: str
+    elapsed_s: float
+
+    @property
+    def from_cache(self) -> bool:
+        """True when the store supplied the result without simulating."""
+        return self.source != "computed"
+
+
+class ResultStore:
+    """Fingerprint-keyed result storage: memory layer + optional disk.
+
+    Parameters
+    ----------
+    root:
+        Directory for the persistent layer (created lazily).  ``None``
+        keeps results in memory only -- the replacement for the old
+        process-local cache.  See the module docstring for the on-disk
+        layout and invalidation rules.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = pathlib.Path(root) if root is not None else None
+        self._memory: dict[str, RunResult] = {}
+        self.hits_memory = 0
+        self.hits_disk = 0
+        self.misses = 0
+        self.writes = 0
+
+    @classmethod
+    def from_environment(cls) -> "ResultStore":
+        """Store rooted at ``$REPRO_RESULT_STORE`` (memory-only if unset)."""
+        return cls(os.environ.get(STORE_ENV_VAR) or None)
+
+    def path_for(self, fingerprint: str) -> pathlib.Path | None:
+        """On-disk document path for a fingerprint (None if memory-only)."""
+        if self.root is None:
+            return None
+        return (
+            self.root
+            / f"v{STORE_VERSION}"
+            / fingerprint[:2]
+            / f"{fingerprint}.json"
+        )
+
+    def fetch(self, fingerprint: str) -> tuple[RunResult, str] | None:
+        """Look a fingerprint up; returns ``(result, source)`` or None."""
+        cached = self._memory.get(fingerprint)
+        if cached is not None:
+            self.hits_memory += 1
+            return cached, "memory"
+        path = self.path_for(fingerprint)
+        if path is not None and path.exists():
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                payload = None
+            if (
+                payload is not None
+                and payload.get("store_version") == STORE_VERSION
+                and payload.get("fingerprint") == fingerprint
+            ):
+                result = RunResult.from_dict(payload["result"])
+                self._memory[fingerprint] = result
+                self.hits_disk += 1
+                return result, "disk"
+        self.misses += 1
+        return None
+
+    def put(
+        self, fingerprint: str, result: RunResult, descriptor: dict | None = None
+    ) -> None:
+        """Record a result in memory and (when disk-backed) on disk.
+
+        The disk write is atomic (temp file + rename) so a crashed run
+        never leaves a truncated document behind.
+        """
+        self._memory[fingerprint] = result
+        self.writes += 1
+        path = self.path_for(fingerprint)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {
+            "store_version": STORE_VERSION,
+            "fingerprint": fingerprint,
+            "request": descriptor or {},
+            "result": result.to_dict(),
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(document, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (disk documents survive)."""
+        self._memory.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/write counters (for benchmarks and logs)."""
+        return {
+            "hits_memory": self.hits_memory,
+            "hits_disk": self.hits_disk,
+            "misses": self.misses,
+            "writes": self.writes,
+        }
+
+    def __contains__(self, fingerprint: str) -> bool:
+        path = self.path_for(fingerprint)
+        return fingerprint in self._memory or (
+            path is not None and path.exists()
+        )
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+def execute_request(request: RunRequest) -> RunResult:
+    """Run one request to completion (the process-pool work function)."""
+    engine = SimulationEngine(
+        request.resolved_config(),
+        request.policy,
+        validate=request.options.validate,
+        clairvoyant=request.options.clairvoyant,
+        vectorized=request.options.vectorized,
+    )
+    return engine.run()
+
+
+def _timed_execute(request: RunRequest) -> tuple[RunResult, float]:
+    start = time.perf_counter()
+    result = execute_request(request)
+    return result, time.perf_counter() - start
+
+
+class Orchestrator:
+    """Resolves run requests against a store, fanning misses out.
+
+    Parameters
+    ----------
+    store:
+        The result store consulted before simulating and updated after.
+        Defaults to a fresh memory-only store.
+    jobs:
+        Worker processes for cache misses.  ``1`` executes serially in
+        this process; higher values use a ``ProcessPoolExecutor``.
+        Parallel runs are deterministic: every engine derives its
+        streams from the request, so results are identical to serial
+        execution.
+    use_store:
+        Default store behavior for :meth:`run_many`.  ``False`` makes
+        every resolution simulate (results are still recorded) --
+        consumers that only take an orchestrator, like the CLI's
+        ``--no-cache`` path, configure cache bypass here.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        jobs: int = 1,
+        use_store: bool = True,
+    ) -> None:
+        self.store = store if store is not None else ResultStore()
+        self.jobs = max(1, int(jobs))
+        self.use_store = use_store
+
+    def run(
+        self, request: RunRequest, use_store: bool | None = None
+    ) -> RunArtifact:
+        """Resolve one request (store lookup, else simulate + record)."""
+        return self.run_many([request], use_store=use_store)[0]
+
+    def run_many(
+        self, requests: Sequence[RunRequest], use_store: bool | None = None
+    ) -> list[RunArtifact]:
+        """Resolve a batch of requests, preserving order.
+
+        Duplicate fingerprints within the batch are simulated once.
+        Misses run in parallel when ``jobs > 1``; results stream into
+        the store as they complete.  ``use_store=False`` skips the
+        lookup (every request simulates) but still records results;
+        ``None`` defers to the orchestrator's default.
+        """
+        if use_store is None:
+            use_store = self.use_store
+        fingerprints = [request.fingerprint() for request in requests]
+        artifacts: list[RunArtifact | None] = [None] * len(requests)
+        pending: dict[str, RunRequest] = {}
+        for index, (request, fingerprint) in enumerate(
+            zip(requests, fingerprints)
+        ):
+            hit = self.store.fetch(fingerprint) if use_store else None
+            if hit is not None:
+                result, source = hit
+                artifacts[index] = RunArtifact(
+                    fingerprint=fingerprint,
+                    result=result,
+                    source=source,
+                    elapsed_s=0.0,
+                )
+            elif fingerprint not in pending:
+                pending[fingerprint] = request
+
+        computed = self._execute_pending(pending)
+        for index, fingerprint in enumerate(fingerprints):
+            if artifacts[index] is None:
+                result, elapsed = computed[fingerprint]
+                artifacts[index] = RunArtifact(
+                    fingerprint=fingerprint,
+                    result=result,
+                    source="computed",
+                    elapsed_s=elapsed,
+                )
+        return artifacts  # type: ignore[return-value]
+
+    def _execute_pending(
+        self, pending: dict[str, RunRequest]
+    ) -> dict[str, tuple[RunResult, float]]:
+        computed: dict[str, tuple[RunResult, float]] = {}
+        if not pending:
+            return computed
+        items = list(pending.items())
+        if self.jobs == 1 or len(items) == 1:
+            for fingerprint, request in items:
+                start = time.perf_counter()
+                result = execute_request(request)
+                computed[fingerprint] = (result, time.perf_counter() - start)
+                self.store.put(fingerprint, result, request.descriptor())
+            return computed
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as pool:
+            timed = list(
+                pool.map(_timed_execute, [request for _, request in items])
+            )
+        for (fingerprint, request), (result, elapsed) in zip(items, timed):
+            computed[fingerprint] = (result, elapsed)
+            self.store.put(fingerprint, result, request.descriptor())
+        return computed
+
+
+def grid_requests(
+    configs: Iterable[ExperimentConfig],
+    policies_for: Callable[[ExperimentConfig], list[PlacementPolicy]],
+    seeds: Sequence[int] | None = None,
+    options: EngineOptions | None = None,
+) -> list[RunRequest]:
+    """Cross a config iterable with per-config policies and seeds.
+
+    Parameters
+    ----------
+    configs:
+        The configurations to run.
+    policies_for:
+        Callable ``config -> list[PlacementPolicy]`` building *fresh*
+        policy instances per config (policies carry cross-slot state,
+        so sharing instances across parallel requests is unsafe).
+    seeds:
+        Seed overrides; ``None`` keeps each config's own seed.
+    options:
+        Engine flags applied to every request.
+    """
+    options = options or EngineOptions()
+    requests = []
+    for config in configs:
+        for seed in seeds if seeds is not None else [None]:
+            for policy in policies_for(config):
+                requests.append(
+                    RunRequest(
+                        config=config, policy=policy, seed=seed, options=options
+                    )
+                )
+    return requests

@@ -1,9 +1,19 @@
 """Shared comparison runner for the figure experiments.
 
 All six figures of the paper come from the *same* one-week run of the
-four methods, so the runner caches results per configuration within
-the process; the benchmark files each regenerate their figure from the
-shared run and only micro-benchmark their own reporting path.
+four methods, so every consumer funnels through :func:`run_comparison`.
+Execution and caching live in
+:mod:`repro.experiments.orchestrator`: each (config, policy, seed) run
+is fingerprinted and resolved against a :class:`ResultStore` -- an
+in-memory layer by default, plus a persistent on-disk layer when a
+store root is configured (``REPRO_RESULT_STORE`` or an explicit
+orchestrator) -- and cache misses fan out over worker processes when
+``jobs > 1``.  Parallel and cached runs are bit-identical to serial
+cold runs.
+
+:func:`run_replicated_comparison` repeats the comparison over several
+seeds for mean/CI reporting
+(:func:`repro.sim.metrics.aggregate_replicates`).
 """
 
 from __future__ import annotations
@@ -11,13 +21,28 @@ from __future__ import annotations
 from repro.baselines import EnerAwarePolicy, NetAwarePolicy, PriAwarePolicy
 from repro.core.controller import ProposedPolicy
 from repro.core.forces import ForceParameters
+from repro.experiments.orchestrator import (
+    EngineOptions,
+    Orchestrator,
+    ResultStore,
+    grid_requests,
+)
 from repro.sim.config import ExperimentConfig
-from repro.sim.engine import SimulationEngine
 from repro.sim.results import RunResult
 from repro.sim.state import PlacementPolicy
 
-#: Process-wide cache: config fingerprint -> results.
-_CACHE: dict[tuple, list[RunResult]] = {}
+#: Process-wide default orchestrator; its store replaces the old
+#: ``_CACHE`` dict (memory layer, plus disk when $REPRO_RESULT_STORE
+#: is set).
+_DEFAULT_ORCHESTRATOR: Orchestrator | None = None
+
+
+def default_orchestrator() -> Orchestrator:
+    """The process-wide orchestrator used when callers pass none."""
+    global _DEFAULT_ORCHESTRATOR
+    if _DEFAULT_ORCHESTRATOR is None:
+        _DEFAULT_ORCHESTRATOR = Orchestrator(store=ResultStore.from_environment())
+    return _DEFAULT_ORCHESTRATOR
 
 
 def default_policies(alpha: float = 0.5) -> list[PlacementPolicy]:
@@ -30,22 +55,12 @@ def default_policies(alpha: float = 0.5) -> list[PlacementPolicy]:
     ]
 
 
-def _fingerprint(config: ExperimentConfig, alpha: float) -> tuple:
-    return (
-        config.name,
-        config.horizon_slots,
-        config.steps_per_slot,
-        config.seed,
-        config.qos,
-        tuple(spec.n_servers for spec in config.specs),
-        alpha,
-    )
-
-
 def run_comparison(
     config: ExperimentConfig,
     alpha: float = 0.5,
     use_cache: bool = True,
+    jobs: int = 1,
+    orchestrator: Orchestrator | None = None,
 ) -> list[RunResult]:
     """Run the four methods over one workload realization.
 
@@ -58,20 +73,74 @@ def run_comparison(
     alpha:
         Eq. 5 trade-off weight for the proposed method.
     use_cache:
-        Reuse a previous identical run within this process.
+        Resolve against the orchestrator's result store.  ``False``
+        simulates unconditionally (results are still recorded).
+    jobs:
+        Worker processes for uncached runs (1 = serial).
+    orchestrator:
+        Execution backend; defaults to the process-wide one.
     """
-    key = _fingerprint(config, alpha)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
-    results = [
-        SimulationEngine(config, policy).run()
-        for policy in default_policies(alpha)
-    ]
-    if use_cache:
-        _CACHE[key] = results
-    return results
+    orchestrator = orchestrator or default_orchestrator()
+    if jobs != 1:
+        orchestrator = Orchestrator(
+            store=orchestrator.store,
+            jobs=jobs,
+            use_store=orchestrator.use_store,
+        )
+    requests = grid_requests([config], lambda _: default_policies(alpha))
+    artifacts = orchestrator.run_many(requests, use_store=use_cache)
+    return [artifact.result for artifact in artifacts]
+
+
+def run_replicated_comparison(
+    config: ExperimentConfig,
+    alpha: float = 0.5,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    jobs: int = 1,
+    orchestrator: Orchestrator | None = None,
+) -> dict[str, list[RunResult]]:
+    """The four-method comparison replicated over several seeds.
+
+    Returns policy name -> one run per seed (in ``seeds`` order), the
+    input shape of
+    :func:`repro.sim.metrics.aggregate_replicates` and
+    :func:`repro.sim.metrics.format_replicated_comparison`.
+    """
+    orchestrator = orchestrator or default_orchestrator()
+    if jobs != 1:
+        orchestrator = Orchestrator(
+            store=orchestrator.store,
+            jobs=jobs,
+            use_store=orchestrator.use_store,
+        )
+    requests = grid_requests(
+        [config], lambda _: default_policies(alpha), seeds=list(seeds)
+    )
+    artifacts = orchestrator.run_many(requests)
+    replicates: dict[str, list[RunResult]] = {}
+    for artifact in artifacts:
+        replicates.setdefault(artifact.result.policy_name, []).append(
+            artifact.result
+        )
+    return replicates
 
 
 def clear_cache() -> None:
-    """Drop all cached comparison runs (mainly for tests)."""
-    _CACHE.clear()
+    """Drop the default store's in-memory results (mainly for tests).
+
+    Disk documents, when a persistent root is configured, survive --
+    delete the store directory to cold-start those.
+    """
+    default_orchestrator().store.clear_memory()
+
+
+#: Engine-flag pass-through re-exported for consumers that build
+#: requests directly.
+__all__ = [
+    "EngineOptions",
+    "clear_cache",
+    "default_orchestrator",
+    "default_policies",
+    "run_comparison",
+    "run_replicated_comparison",
+]

@@ -13,7 +13,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-from repro.experiments.runner import run_comparison
+from repro.experiments.orchestrator import Orchestrator, grid_requests
+from repro.experiments.runner import default_orchestrator, default_policies
 from repro.sim.config import ExperimentConfig
 from repro.sim.metrics import improvement_pct
 from repro.workload.vm import AppType
@@ -61,12 +62,33 @@ def run_scenarios(
     base: ExperimentConfig,
     scenarios: tuple[str, ...] = ("scale-out", "mixed", "hpc"),
     alpha: float = 0.5,
+    jobs: int = 1,
+    orchestrator: Orchestrator | None = None,
 ) -> list[ScenarioOutcome]:
-    """Four-method comparison per scenario, summarized vs best baseline."""
+    """Four-method comparison per scenario, summarized vs best baseline.
+
+    The whole (scenario x policy) grid is submitted as one orchestrator
+    batch, so with ``jobs > 1`` scenarios and policies parallelize
+    together.
+    """
+    orchestrator = orchestrator or default_orchestrator()
+    if jobs != 1:
+        orchestrator = Orchestrator(
+            store=orchestrator.store,
+            jobs=jobs,
+            use_store=orchestrator.use_store,
+        )
+    configs = [scenario_config(base, scenario) for scenario in scenarios]
+    artifacts = orchestrator.run_many(
+        grid_requests(configs, lambda _: default_policies(alpha))
+    )
+    n_policies = len(default_policies(alpha))
     outcomes = []
-    for scenario in scenarios:
-        config = scenario_config(base, scenario)
-        results = run_comparison(config, alpha=alpha)
+    for index, scenario in enumerate(scenarios):
+        results = [
+            artifact.result
+            for artifact in artifacts[index * n_policies : (index + 1) * n_policies]
+        ]
         proposed = results[0]
         baselines = results[1:]
         best_cost = min(r.total_grid_cost_eur() for r in baselines)

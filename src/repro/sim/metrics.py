@@ -4,13 +4,24 @@ The paper's figures report *normalized* quantities: cost normalized by
 the worst method (Fig. 1), response time normalized by the worst case
 among methods (Fig. 3), pairwise improvement percentages (Figs. 4-6).
 These helpers compute them from a set of :class:`RunResult`.
+
+Multi-seed replication support: :func:`aggregate_replicates` reduces a
+set of same-policy runs over different seeds to mean / 95 % CI pairs
+per headline metric, and :func:`format_replicated_comparison` renders
+the replicated four-method table the orchestrator's ``--seeds N`` path
+produces.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.sim.results import RunResult
+
+#: z-value of the normal 95 % confidence interval.
+_Z_95 = 1.959963984540054
 
 
 def normalized_costs(results: list[RunResult]) -> dict[str, float]:
@@ -106,6 +117,105 @@ def response_time_pdf(
     density, edges = np.histogram(normalized, bins=bins, range=(0.0, 1.0), density=True)
     centers = 0.5 * (edges[:-1] + edges[1:])
     return centers, density
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """Mean and symmetric 95 % confidence half-width of replicates."""
+
+    mean: float
+    ci95: float
+    n: int
+
+    def __str__(self) -> str:
+        """``mean +- ci`` rendering used by the replicated tables."""
+        return f"{self.mean:.4g} +- {self.ci95:.2g}"
+
+
+def mean_ci(values) -> MeanCI:
+    """Normal-approximation mean / 95 % CI of a sample.
+
+    With a single replicate the half-width is 0 (no spread information);
+    the sample standard deviation uses ``ddof=1`` otherwise.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ValueError("mean_ci needs at least one value")
+    if array.size == 1:
+        return MeanCI(mean=float(array[0]), ci95=0.0, n=1)
+    half = _Z_95 * float(array.std(ddof=1)) / float(np.sqrt(array.size))
+    return MeanCI(mean=float(array.mean()), ci95=half, n=int(array.size))
+
+
+#: The headline metrics replicated tables aggregate, in table order.
+REPLICATE_METRICS = (
+    "cost_eur",
+    "energy_gj",
+    "mean_rt_s",
+    "p99_rt_s",
+    "migrations",
+)
+
+
+def _metrics_of(result: RunResult) -> dict[str, float]:
+    summary = result.summary()
+    return {
+        "cost_eur": float(summary["cost_eur"]),
+        "energy_gj": float(summary["energy_gj"]),
+        "mean_rt_s": float(summary["mean_rt_s"]),
+        "p99_rt_s": result.percentile_response_s(99.0),
+        "migrations": float(summary["migrations"]),
+    }
+
+
+def aggregate_replicates(results: list[RunResult]) -> dict[str, MeanCI]:
+    """Mean / 95 % CI per headline metric over same-policy replicates.
+
+    Parameters
+    ----------
+    results:
+        Runs of one policy over one configuration shape, differing only
+        in seed.  All replicates must agree on the policy name.
+    """
+    if not results:
+        raise ValueError("aggregate_replicates needs at least one run")
+    names = {result.policy_name for result in results}
+    if len(names) != 1:
+        raise ValueError(f"replicates mix policies: {sorted(names)}")
+    rows = [_metrics_of(result) for result in results]
+    return {
+        metric: mean_ci(row[metric] for row in rows)
+        for metric in REPLICATE_METRICS
+    }
+
+
+def format_replicated_comparison(
+    replicates: dict[str, list[RunResult]],
+) -> str:
+    """Multi-seed comparison table: ``mean +- ci`` per policy/metric.
+
+    Parameters
+    ----------
+    replicates:
+        Policy name -> same-policy runs over different seeds (the shape
+        returned by the orchestrator's replicated comparison).
+    """
+    header = (
+        f"{'policy':<12} {'n':>3} {'cost EUR':>22} {'energy GJ':>22} "
+        f"{'mean RT s':>22} {'p99 RT s':>22} {'migs':>16}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, results in replicates.items():
+        stats = aggregate_replicates(results)
+        lines.append(
+            f"{name:<12} {stats['cost_eur'].n:>3} "
+            f"{str(stats['cost_eur']):>22} "
+            f"{str(stats['energy_gj']):>22} "
+            f"{str(stats['mean_rt_s']):>22} "
+            f"{str(stats['p99_rt_s']):>22} "
+            f"{str(stats['migrations']):>16}"
+        )
+    return "\n".join(lines)
 
 
 def format_comparison(results: list[RunResult]) -> str:

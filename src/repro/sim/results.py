@@ -5,10 +5,17 @@ consumes: it carries one :class:`SlotRecord` per simulated hour and
 exposes the aggregates the paper's figures are built from --
 operational cost (Fig. 1), hourly/total energy (Fig. 2) and the
 response-time distribution (Fig. 3).
+
+Every record type round-trips losslessly through plain dictionaries
+(``to_dict`` / ``from_dict``): all fields are Python floats/ints, so
+JSON (which preserves doubles exactly via shortest-repr) reproduces a
+run bit-for-bit.  The orchestrator's persistent result store
+(:mod:`repro.experiments.orchestrator`) relies on this.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -40,6 +47,19 @@ class DCSlotRecord:
     active_servers: int
     response_latency_s: float
     receiving_vms: int
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (nested green ledger included)."""
+        payload = dataclasses.asdict(self)
+        payload["green"] = dataclasses.asdict(self.green)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DCSlotRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        fields = dict(payload)
+        fields["green"] = GreenSlotResult(**fields["green"])
+        return cls(**fields)
 
 
 @dataclass
@@ -77,6 +97,25 @@ class SlotRecord:
         if not parts:
             return np.zeros(0)
         return np.concatenate(parts)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form with one entry per DC record."""
+        return {
+            "slot": self.slot,
+            "n_vms": self.n_vms,
+            "migrations": self.migrations,
+            "migration_volume_mb": self.migration_volume_mb,
+            "dc_records": [record.to_dict() for record in self.dc_records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SlotRecord":
+        """Rebuild a slot record from :meth:`to_dict` output."""
+        fields = dict(payload)
+        fields["dc_records"] = [
+            DCSlotRecord.from_dict(record) for record in fields["dc_records"]
+        ]
+        return cls(**fields)
 
 
 @dataclass
@@ -171,6 +210,24 @@ class RunResult:
                     for slot in self.slots
                 ]
             )
+        )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form of the whole run (JSON-serializable)."""
+        return {
+            "policy_name": self.policy_name,
+            "config_name": self.config_name,
+            "slots": [slot.to_dict() for slot in self.slots],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunResult":
+        """Rebuild a run from :meth:`to_dict` output."""
+        return cls(
+            policy_name=payload["policy_name"],
+            config_name=payload["config_name"],
+            slots=[SlotRecord.from_dict(slot) for slot in payload["slots"]],
         )
 
     def summary(self) -> dict:

@@ -151,3 +151,24 @@ class PlacementPolicy(abc.ABC):
 
     def reset(self) -> None:
         """Clear cross-slot internal state (default: stateless)."""
+
+    def descriptor(self) -> dict:
+        """Identity of this policy for run fingerprinting.
+
+        Returns the class name plus every public instance attribute
+        (the constructor-tunable state); underscore attributes -- caches
+        and cross-slot working state, which :meth:`reset` clears -- are
+        excluded, so two freshly configured policies that would place
+        identically share a descriptor.  The orchestrator canonicalizes
+        the values (dataclasses, enums, functions) before hashing.
+        """
+        state = {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_")
+        }
+        return {
+            "class": type(self).__qualname__,
+            "name": self.name,
+            "state": state,
+        }

@@ -55,3 +55,36 @@ def test_default_policies_order_and_names():
         "Pri-aware",
         "Net-aware",
     ]
+
+
+def test_run_replicated_comparison_shape():
+    from repro.experiments.runner import run_replicated_comparison
+
+    config = scaled_config("tiny").with_horizon(2)
+    replicates = run_replicated_comparison(config, seeds=(0, 1))
+    assert set(replicates) == {
+        "Proposed",
+        "Ener-aware",
+        "Pri-aware",
+        "Net-aware",
+    }
+    assert all(len(runs) == 2 for runs in replicates.values())
+    # Different seeds, different workloads, same policy order.
+    costs = [run.total_grid_cost_eur() for run in replicates["Proposed"]]
+    assert costs[0] != costs[1]
+
+
+def test_jobs_parallel_comparison_identical():
+    from repro.experiments.orchestrator import Orchestrator, ResultStore
+    from repro.experiments.runner import run_comparison
+
+    config = scaled_config("tiny").with_horizon(3)
+    serial = run_comparison(
+        config, orchestrator=Orchestrator(store=ResultStore())
+    )
+    parallel = run_comparison(
+        config, jobs=2, orchestrator=Orchestrator(store=ResultStore())
+    )
+    for a, b in zip(serial, parallel):
+        assert a.policy_name == b.policy_name
+        assert a.slots == b.slots

@@ -1,0 +1,154 @@
+"""Vectorized engine hot paths: bit-exact equivalence with the loops."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import default_policies
+from repro.sim.config import scaled_config
+from repro.sim.engine import SimulationEngine, run_policies
+
+
+def run_pair(policy_a, policy_b, horizon=6):
+    config = scaled_config("tiny").with_horizon(horizon)
+    loops = SimulationEngine(config, policy_a, vectorized=False).run()
+    vectorized = SimulationEngine(config, policy_b, vectorized=True).run()
+    return loops, vectorized
+
+
+@pytest.mark.parametrize("index", range(4))
+def test_full_run_bit_identical(index):
+    """Every per-slot ledger float matches the loop reference exactly."""
+    loops, vectorized = run_pair(
+        default_policies()[index], default_policies()[index]
+    )
+    assert loops.horizon == vectorized.horizon
+    for slot_a, slot_b in zip(loops.slots, vectorized.slots):
+        assert slot_a.migration_volume_mb == slot_b.migration_volume_mb
+        assert slot_a.dc_records == slot_b.dc_records
+
+
+def test_summary_metrics_identical():
+    loops, vectorized = run_pair(default_policies()[0], default_policies()[0])
+    assert loops.summary() == vectorized.summary()
+    assert np.array_equal(loops.response_samples(), vectorized.response_samples())
+
+
+def test_dc_it_power_paths_agree_per_slot():
+    config = scaled_config("tiny").with_horizon(2)
+    engine = SimulationEngine(config, default_policies()[1])
+    vms = engine.population.alive(0)
+    vm_rows = {vm.vm_id: row for row, vm in enumerate(vms)}
+    demand = engine._demand(vms, 0)
+    observation_policy = default_policies()[1]
+    observation_policy.reset()
+    from repro.sim.config import build_datacenters
+    from repro.sim.state import SlotObservation
+
+    observation = SlotObservation(
+        slot=0,
+        vms=vms,
+        demand_traces=demand,
+        volumes=engine.volumes.volumes(vms, 0),
+        previous_assignment={},
+        dcs=build_datacenters(config),
+        latency_model=engine.latency_model,
+        latency_constraint_s=config.latency_constraint_s,
+    )
+    placement = observation_policy.place(observation)
+    for dc_index in range(config.n_dcs):
+        loop = engine._dc_it_power_loop(placement, dc_index, vm_rows, demand)
+        fast = engine._dc_it_power_vectorized(
+            placement, dc_index, vm_rows, demand
+        )
+        assert np.array_equal(loop[0], fast[0])
+        assert loop[1] == fast[1]
+
+
+def test_response_latency_paths_agree_per_slot():
+    config = scaled_config("tiny").with_horizon(2)
+    engine = SimulationEngine(config, default_policies()[1])
+    vms = engine.population.alive(1)
+    volumes = engine.volumes.volumes(vms, 1).volumes
+    rng = np.random.default_rng(7)
+    placement_stub = type(
+        "Stub",
+        (),
+        {"assignment": {vm.vm_id: int(rng.integers(0, 3)) for vm in vms}},
+    )()
+    loop = engine._response_latencies_loop(placement_stub, vms, volumes, 1)
+    fast = engine._response_latencies_vectorized(placement_stub, vms, volumes, 1)
+    assert loop == fast
+
+
+def test_response_latency_empty_fleet():
+    config = scaled_config("tiny").with_horizon(2)
+    engine = SimulationEngine(config, default_policies()[1])
+    placement_stub = type("Stub", (), {"assignment": {}})()
+    empty = np.zeros((0, 0))
+    loop = engine._response_latencies_loop(placement_stub, [], empty, 0)
+    fast = engine._response_latencies_vectorized(placement_stub, [], empty, 0)
+    assert loop == fast == [(0.0, 0)] * config.n_dcs
+
+
+class TestRunPoliciesOptions:
+    """run_policies forwards engine options to every engine it builds."""
+
+    def test_clairvoyant_threaded_through(self):
+        config = scaled_config("tiny").with_horizon(4)
+        policies = default_policies()[1:2]
+        via_runner = run_policies(config, policies, clairvoyant=True)
+        direct = SimulationEngine(
+            config, default_policies()[1], clairvoyant=True
+        ).run()
+        assert via_runner[0].slots == direct.slots
+
+    def test_vectorized_flag_threaded_through(self):
+        config = scaled_config("tiny").with_horizon(3)
+        loops = run_policies(config, default_policies()[2:3], vectorized=False)
+        fast = run_policies(config, default_policies()[2:3], vectorized=True)
+        assert loops[0].slots == fast[0].slots
+
+    def test_validate_flag_threaded_through(self):
+        config = scaled_config("tiny").with_horizon(2)
+        results = run_policies(config, default_policies()[1:2], validate=False)
+        assert results[0].horizon == 2
+
+    def test_trace_library_threaded_through(self):
+        from repro.workload.traces import TraceLibrary
+
+        config = scaled_config("tiny").with_horizon(2)
+        alternate = TraceLibrary(
+            steps_per_slot=config.steps_per_slot, seed=config.seed + 99
+        )
+        default = run_policies(config, default_policies()[1:2])
+        swapped = run_policies(
+            config, default_policies()[1:2], trace_library=alternate
+        )
+        assert default[0].total_facility_energy_joules() != pytest.approx(
+            swapped[0].total_facility_energy_joules()
+        )
+
+
+class TestDemandCacheEviction:
+    def test_eviction_is_bucketed_per_slot(self):
+        config = scaled_config("tiny").with_horizon(3)
+        engine = SimulationEngine(config, default_policies()[1])
+        vms = engine.population.alive(0)
+        engine._demand(vms, 0)
+        engine._demand(vms, 1)
+        assert set(engine._demand_cache_slots) == {0, 1}
+        engine._evict_cache(1)
+        assert set(engine._demand_cache_slots) == {1}
+        assert all(slot == 1 for _, slot in engine._demand_cache)
+
+    def test_cache_consistent_after_run(self):
+        config = scaled_config("tiny").with_horizon(4)
+        engine = SimulationEngine(config, default_policies()[1])
+        engine.run()
+        bucketed = {
+            key
+            for keys in engine._demand_cache_slots.values()
+            for key in keys
+        }
+        assert bucketed == set(engine._demand_cache)
+        assert {slot for _, slot in engine._demand_cache} <= {2, 3}

@@ -93,3 +93,66 @@ class TestFormatting:
     def test_format_has_header(self, results):
         table = format_comparison(results)
         assert "cost EUR" in table.splitlines()[0]
+
+
+class TestReplication:
+    def make_run(self, seed):
+        from repro.experiments.runner import default_policies
+        from repro.sim.config import scaled_config
+        from repro.sim.engine import SimulationEngine
+
+        config = scaled_config("tiny", seed=seed).with_horizon(2)
+        return SimulationEngine(config, default_policies()[1]).run()
+
+    def test_mean_ci_single_value(self):
+        from repro.sim.metrics import mean_ci
+
+        stats = mean_ci([4.2])
+        assert stats.mean == 4.2
+        assert stats.ci95 == 0.0
+        assert stats.n == 1
+
+    def test_mean_ci_matches_normal_formula(self):
+        from repro.sim.metrics import mean_ci
+
+        values = [1.0, 2.0, 3.0, 4.0]
+        stats = mean_ci(values)
+        expected = 1.959963984540054 * np.std(values, ddof=1) / np.sqrt(4)
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.ci95 == pytest.approx(expected)
+
+    def test_mean_ci_empty_raises(self):
+        from repro.sim.metrics import mean_ci
+
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+    def test_aggregate_replicates_metrics(self):
+        from repro.sim.metrics import REPLICATE_METRICS, aggregate_replicates
+
+        runs = [self.make_run(seed) for seed in (0, 1)]
+        stats = aggregate_replicates(runs)
+        assert set(stats) == set(REPLICATE_METRICS)
+        assert stats["cost_eur"].n == 2
+
+    def test_aggregate_replicates_rejects_mixed_policies(self):
+        from repro.experiments.runner import default_policies
+        from repro.sim.config import scaled_config
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.metrics import aggregate_replicates
+
+        config = scaled_config("tiny").with_horizon(2)
+        runs = [
+            SimulationEngine(config, default_policies()[1]).run(),
+            SimulationEngine(config, default_policies()[2]).run(),
+        ]
+        with pytest.raises(ValueError):
+            aggregate_replicates(runs)
+
+    def test_format_replicated_comparison(self):
+        from repro.sim.metrics import format_replicated_comparison
+
+        replicates = {"Ener-aware": [self.make_run(seed) for seed in (0, 1)]}
+        table = format_replicated_comparison(replicates)
+        assert "Ener-aware" in table
+        assert "+-" in table

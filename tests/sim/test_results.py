@@ -136,3 +136,38 @@ class TestRunResult:
         assert empty.worst_response_s() == 0.0
         assert empty.mean_active_servers() == 0.0
         assert empty.renewable_utilization() == 0.0
+
+
+class TestSerialization:
+    def test_roundtrip_identity(self):
+        run = RunResult(
+            policy_name="Proposed",
+            config_name="unit",
+            slots=[record(0), record(1, latencies=(0.25, 2.0), migrations=3)],
+        )
+        clone = RunResult.from_dict(run.to_dict())
+        assert clone.policy_name == run.policy_name
+        assert clone.config_name == run.config_name
+        assert clone.slots == run.slots
+
+    def test_roundtrip_through_json_is_bit_exact(self):
+        import json
+
+        run = RunResult(
+            policy_name="Net-aware",
+            config_name="unit",
+            slots=[record(0, latencies=(1 / 3, 0.1 + 0.2))],
+        )
+        clone = RunResult.from_dict(json.loads(json.dumps(run.to_dict())))
+        assert clone.slots == run.slots
+        assert clone.summary() == run.summary()
+
+    def test_dc_record_roundtrip(self):
+        original = record(0).dc_records[0]
+        clone = DCSlotRecord.from_dict(original.to_dict())
+        assert clone == original
+        assert isinstance(clone.green, GreenSlotResult)
+
+    def test_empty_run_roundtrip(self):
+        empty = RunResult(policy_name="Empty", config_name="unit")
+        assert RunResult.from_dict(empty.to_dict()) == empty

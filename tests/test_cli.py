@@ -79,3 +79,53 @@ class TestCommands:
         )
         assert code == 0
         assert (tmp_path / "csv" / "summary.csv").exists()
+
+
+class TestOrchestratorFlags:
+    def test_defaults_include_orchestrator_flags(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.jobs == 1
+        assert args.seeds == 1
+        assert args.no_cache is False
+        assert args.store is None
+
+    def test_compare_replicated_seeds(self, capsys):
+        code = main(
+            ["compare", "--scale", "tiny", "--horizon", "2", "--seeds", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "+-" in out
+        assert "Proposed" in out
+
+    def test_compare_no_cache(self, capsys):
+        code = main(
+            ["compare", "--scale", "tiny", "--horizon", "2", "--no-cache"]
+        )
+        assert code == 0
+        assert "Proposed" in capsys.readouterr().out
+
+    def test_store_persists_results(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        argv = [
+            "compare", "--scale", "tiny", "--horizon", "2", "--store", str(store),
+        ]
+        assert main(argv) == 0
+        documents = list(store.rglob("*.json"))
+        assert len(documents) == 4
+        # Second invocation must resolve from disk and print the same table.
+        first = capsys.readouterr().out
+        from repro.experiments.runner import clear_cache
+
+        clear_cache()
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_store_path_must_be_directory(self, tmp_path):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("x")
+        with pytest.raises(SystemExit):
+            main(
+                ["compare", "--scale", "tiny", "--horizon", "2",
+                 "--store", str(not_a_dir)]
+            )

@@ -2,8 +2,9 @@
 #
 #   make test        - tier-1 test suite (fast; what CI gates on)
 #   make bench-smoke - tiny-scale benchmark suite: orchestrator fan-out,
-#                      result-store warm hits and the engine's per-slot
-#                      hot paths (loop vs vectorized)
+#                      result-store warm hits, the engine's per-slot
+#                      hot paths and the data-correlation generation
+#                      (loop vs vectorized)
 #   make bench       - full benchmark harness (slow: one-week comparison)
 
 PYTEST := PYTHONPATH=src python -m pytest
@@ -13,9 +14,12 @@ PYTEST := PYTHONPATH=src python -m pytest
 test:
 	$(PYTEST) -x -q
 
+# NOTE: -k matches whole node ids (module names included), so keywords
+# must not appear in every bench_* filename or the filter is a no-op.
 bench-smoke:
 	$(PYTEST) -q benchmarks/bench_orchestrator.py \
-		benchmarks/bench_scaling.py -k "orchestrator or it_power or response_latencies or bench" \
+		benchmarks/bench_scaling.py benchmarks/bench_datacorr.py \
+		-k "orchestrator or it_power or response_latencies or datacorr" \
 		--benchmark-min-rounds=3
 
 bench:

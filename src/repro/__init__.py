@@ -29,6 +29,8 @@ Sub-packages:
 * :mod:`repro.datacenter` -- servers, power, PUE, PV, battery, tariffs,
 * :mod:`repro.network` -- geo topology and the Eq. 1-4 latency model,
 * :mod:`repro.workload` -- VMs, traces, arrival and data processes,
+  unified behind versioned, content-hashed trace packs
+  (:mod:`repro.workload.packs`),
 * :mod:`repro.sim` -- configs, engine, metrics, results,
 * :mod:`repro.experiments` -- one runner per paper figure, plus the
   orchestration layer (parallel run fan-out and the fingerprint-keyed
@@ -61,6 +63,13 @@ from repro.sim import (
     run_policies,
     scaled_config,
 )
+from repro.workload.packs import (
+    TracePack,
+    available_packs,
+    default_pack,
+    get_pack,
+    register_pack,
+)
 
 __version__ = "1.0.0"
 
@@ -80,10 +89,15 @@ __all__ = [
     "RunRequest",
     "RunResult",
     "SimulationEngine",
+    "TracePack",
     "__version__",
+    "available_packs",
+    "default_pack",
     "format_comparison",
+    "get_pack",
     "normalized_costs",
     "paper_config",
+    "register_pack",
     "run_comparison",
     "run_policies",
     "run_replicated_comparison",

@@ -231,6 +231,7 @@ def comparison_bounds(
     alpha: float = 0.5,
     jobs: int = 1,
     orchestrator=None,
+    pack=None,
 ) -> list[tuple[RunResult, CostLowerBound]]:
     """Four-method comparison with the sourcing bound per policy.
 
@@ -241,7 +242,7 @@ def comparison_bounds(
     from repro.experiments.runner import run_comparison
 
     results = run_comparison(
-        config, alpha=alpha, jobs=jobs, orchestrator=orchestrator
+        config, alpha=alpha, jobs=jobs, orchestrator=orchestrator, pack=pack
     )
     return [
         (result, operational_cost_lower_bound(result, config))

@@ -15,6 +15,7 @@ from repro.core.controller import ProposedPolicy
 from repro.core.forces import ForceParameters
 from repro.experiments.orchestrator import Orchestrator, RunRequest
 from repro.sim.config import ExperimentConfig
+from repro.workload.packs import TracePack
 
 #: Percentile used as the SLA-relevant response-time statistic.
 WORST_CASE_PERCENTILE = 99.0
@@ -49,6 +50,7 @@ def alpha_sweep(
     alphas: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9),
     jobs: int = 1,
     orchestrator: Orchestrator | None = None,
+    pack: TracePack | None = None,
 ) -> list[ParetoPoint]:
     """Run the proposed controller once per alpha over one workload.
 
@@ -60,15 +62,12 @@ def alpha_sweep(
 
     orchestrator = orchestrator or default_orchestrator()
     if jobs != 1:
-        orchestrator = Orchestrator(
-            store=orchestrator.store,
-            jobs=jobs,
-            use_store=orchestrator.use_store,
-        )
+        orchestrator = orchestrator.with_jobs(jobs)
     requests = [
         RunRequest(
             config=config,
             policy=ProposedPolicy(force_params=ForceParameters(alpha=alpha)),
+            pack=pack,
         )
         for alpha in alphas
     ]

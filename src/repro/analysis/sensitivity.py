@@ -17,6 +17,7 @@ from repro.core.controller import ProposedPolicy
 from repro.experiments.orchestrator import Orchestrator, grid_requests
 from repro.sim.config import ExperimentConfig
 from repro.sim.results import RunResult
+from repro.workload.packs import TracePack
 
 
 @dataclass(frozen=True)
@@ -50,18 +51,15 @@ def _run_grid(
     values: tuple[float, ...],
     jobs: int,
     orchestrator: Orchestrator | None,
+    pack: TracePack | None = None,
 ) -> list[SweepRow]:
     from repro.experiments.runner import default_orchestrator
 
     orchestrator = orchestrator or default_orchestrator()
     if jobs != 1:
-        orchestrator = Orchestrator(
-            store=orchestrator.store,
-            jobs=jobs,
-            use_store=orchestrator.use_store,
-        )
+        orchestrator = orchestrator.with_jobs(jobs)
     artifacts = orchestrator.run_many(
-        grid_requests(configs, lambda _: [ProposedPolicy()])
+        grid_requests(configs, lambda _: [ProposedPolicy()], pack=pack)
     )
     return [
         _row_from(artifact.result, parameter, value)
@@ -74,6 +72,7 @@ def sweep_battery_scale(
     scales: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0),
     jobs: int = 1,
     orchestrator: Orchestrator | None = None,
+    pack: TracePack | None = None,
 ) -> list[SweepRow]:
     """Rerun with every DC's battery scaled by each factor.
 
@@ -87,7 +86,7 @@ def sweep_battery_scale(
             for spec in config.specs
         )
         configs.append(dataclasses.replace(config, specs=specs))
-    return _run_grid(configs, "battery_scale", scales, jobs, orchestrator)
+    return _run_grid(configs, "battery_scale", scales, jobs, orchestrator, pack)
 
 
 def sweep_qos(
@@ -95,12 +94,13 @@ def sweep_qos(
     qos_levels: tuple[float, ...] = (0.9995, 0.995, 0.98, 0.95),
     jobs: int = 1,
     orchestrator: Orchestrator | None = None,
+    pack: TracePack | None = None,
 ) -> list[SweepRow]:
     """Rerun with different migration QoS windows (Algorithm 2)."""
     configs = [
         dataclasses.replace(config, qos=qos) for qos in qos_levels
     ]
-    return _run_grid(configs, "qos", qos_levels, jobs, orchestrator)
+    return _run_grid(configs, "qos", qos_levels, jobs, orchestrator, pack)
 
 
 def sweep_pv_scale(
@@ -108,6 +108,7 @@ def sweep_pv_scale(
     scales: tuple[float, ...] = (0.0, 1.0, 2.0),
     jobs: int = 1,
     orchestrator: Orchestrator | None = None,
+    pack: TracePack | None = None,
 ) -> list[SweepRow]:
     """Rerun with every DC's PV array scaled by each factor."""
     configs = []
@@ -117,7 +118,7 @@ def sweep_pv_scale(
             for spec in config.specs
         )
         configs.append(dataclasses.replace(config, specs=specs))
-    return _run_grid(configs, "pv_scale", scales, jobs, orchestrator)
+    return _run_grid(configs, "pv_scale", scales, jobs, orchestrator, pack)
 
 
 def format_rows(rows: list[SweepRow]) -> str:

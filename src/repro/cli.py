@@ -11,6 +11,7 @@ Commands
 * ``sweep``      -- sensitivity sweeps (battery / qos / pv)
 * ``scenarios``  -- workload-mix scenario study (scale-out/mixed/hpc)
 * ``export``     -- dump every figure's data as CSV
+* ``packs``      -- list the registered workload trace packs
 
 All commands accept ``--scale {small,tiny}``, ``--horizon N`` and
 ``--seed N``; runs are deterministic per seed.  Execution goes through
@@ -19,6 +20,12 @@ N worker processes, ``--store DIR`` persists results on disk keyed by
 request fingerprint (warm reruns skip simulation entirely),
 ``--no-cache`` forces recomputation, and ``--seeds N`` replicates the
 comparison over N seeds with mean / 95 % CI reporting.
+
+Workload selection: ``--pack NAME`` runs a registered trace pack (see
+``packs``) and ``--pack-csv PATH`` builds a recorded pack from a
+utilization CSV on the fly.  Pack identity is a content hash folded
+into the run fingerprint, so recorded-CSV experiments resolve from a
+warm ``--store`` exactly like synthetic ones.
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ from repro.experiments.scenarios import format_outcomes, run_scenarios
 from repro.reporting import bar_chart, histogram, series_panel
 from repro.sim.config import ExperimentConfig, paper_config, scaled_config
 from repro.sim.metrics import format_comparison, format_replicated_comparison
+from repro.workload.packs import TracePack, available_packs, get_pack
 
 
 def _config_from(args: argparse.Namespace) -> ExperimentConfig:
@@ -77,6 +85,30 @@ def _orchestrator_from(args: argparse.Namespace) -> Orchestrator:
     )
 
 
+def _pack_from(
+    args: argparse.Namespace, config: ExperimentConfig
+) -> TracePack | None:
+    """The workload pack the command's flags select (None = default)."""
+    if args.pack and args.pack_csv:
+        raise SystemExit("error: --pack and --pack-csv are mutually exclusive")
+    if args.pack_csv:
+        path = pathlib.Path(args.pack_csv)
+        if not path.is_file():
+            raise SystemExit(f"error: --pack-csv {args.pack_csv!r} not found")
+        try:
+            return TracePack.from_csv(
+                path, steps_per_slot=config.steps_per_slot
+            )
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from None
+    if args.pack:
+        try:
+            return get_pack(args.pack)
+        except KeyError as error:
+            raise SystemExit(f"error: {error.args[0]}") from None
+    return None
+
+
 def _comparison_from(args: argparse.Namespace) -> list:
     config = _config_from(args)
     return run_comparison(
@@ -84,6 +116,7 @@ def _comparison_from(args: argparse.Namespace) -> list:
         alpha=args.alpha,
         use_cache=not args.no_cache,
         orchestrator=_orchestrator_from(args),
+        pack=_pack_from(args, config),
     )
 
 
@@ -112,6 +145,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             alpha=args.alpha,
             seeds=tuple(range(args.seed, args.seed + args.seeds)),
             orchestrator=_orchestrator_from(args),
+            pack=_pack_from(args, config),
         )
         print(format_replicated_comparison(replicates))
         return 0
@@ -157,7 +191,12 @@ def cmd_alpha(args: argparse.Namespace) -> int:
     """Sweep Eq. 5's alpha and mark the Pareto-efficient settings."""
     config = _config_from(args)
     alphas = tuple(float(a) for a in args.alphas.split(","))
-    points = alpha_sweep(config, alphas, orchestrator=_orchestrator_from(args))
+    points = alpha_sweep(
+        config,
+        alphas,
+        orchestrator=_orchestrator_from(args),
+        pack=_pack_from(args, config),
+    )
     front = {point.alpha for point in pareto_front(points)}
     print(
         f"{'alpha':>6} {'cost EUR':>10} {'energy GJ':>10} "
@@ -176,7 +215,10 @@ def cmd_bound(args: argparse.Namespace) -> int:
     """Compare each policy's realized cost against the LP oracle."""
     config = _config_from(args)
     bounds = comparison_bounds(
-        config, alpha=args.alpha, orchestrator=_orchestrator_from(args)
+        config,
+        alpha=args.alpha,
+        orchestrator=_orchestrator_from(args),
+        pack=_pack_from(args, config),
     )
     print(
         f"{'policy':<12} {'cost EUR':>10} {'LP bound':>10} {'gap %':>7}"
@@ -197,7 +239,10 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     """Run the workload-mix scenario study."""
     config = _config_from(args)
     outcomes = run_scenarios(
-        config, alpha=args.alpha, orchestrator=_orchestrator_from(args)
+        config,
+        alpha=args.alpha,
+        orchestrator=_orchestrator_from(args),
+        pack=_pack_from(args, config),
     )
     print(format_outcomes(outcomes))
     return 0
@@ -221,9 +266,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         "pv": sweep_pv_scale,
     }
     rows = sweeps[args.parameter](
-        config, orchestrator=_orchestrator_from(args)
+        config,
+        orchestrator=_orchestrator_from(args),
+        pack=_pack_from(args, config),
     )
     print(format_rows(rows))
+    return 0
+
+
+def cmd_packs(args: argparse.Namespace) -> int:
+    """List the registered workload trace packs."""
+    print(f"{'name':<22} {'kind':<10} {'ver':>3}  sha256")
+    for name, pack in available_packs().items():
+        print(
+            f"{name:<22} {pack.kind:<10} {pack.version:>3}  "
+            f"{pack.sha256[:16]}"
+        )
     return 0
 
 
@@ -268,6 +326,18 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             help="persistent result-store root (default: $REPRO_RESULT_STORE)",
         )
+        sub.add_argument(
+            "--pack",
+            default=None,
+            metavar="NAME",
+            help="registered workload trace pack (see the packs command)",
+        )
+        sub.add_argument(
+            "--pack-csv",
+            default=None,
+            metavar="PATH",
+            help="build a recorded trace pack from a utilization CSV",
+        )
 
     table1 = subparsers.add_parser("table1", help="print Table I")
     add_common(table1)
@@ -310,12 +380,21 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("directory", help="output directory for the CSVs")
     export.set_defaults(func=cmd_export)
 
+    packs = subparsers.add_parser(
+        "packs", help="list registered workload trace packs"
+    )
+    packs.set_defaults(func=cmd_packs)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "seeds", 1) > 1 and args.func is not cmd_compare:
+        raise SystemExit(
+            "error: --seeds replication applies to the compare command only"
+        )
     return args.func(args)
 
 

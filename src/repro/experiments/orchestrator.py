@@ -46,6 +46,12 @@ The fingerprint hashes the *complete* canonicalized request:
   state (:meth:`~repro.sim.state.PlacementPolicy.descriptor`);
 * the :class:`EngineOptions` flags that change results
   (``clairvoyant``) or their provenance (``validate``, ``vectorized``);
+* the workload pack's content descriptor (schema, version, kind and
+  the SHA-256 *content* hash of
+  :class:`~repro.workload.packs.TracePack` -- for a recorded pack that
+  digest covers the raw utilization matrix; the pack *name* is a label
+  and deliberately stays out), so recorded-workload runs cache exactly
+  like synthetic ones and renames stay cache-compatible;
 * :data:`STORE_VERSION`.
 
 Anything that could change a run's numbers therefore changes its key;
@@ -62,7 +68,7 @@ import os
 import pathlib
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -70,6 +76,7 @@ from repro.sim.config import ExperimentConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.results import RunResult
 from repro.sim.state import PlacementPolicy
+from repro.workload.packs import TracePack
 
 #: Version of the on-disk schema *and* of the engine numerics contract.
 #: Bump on any change that alters stored bytes or simulated numbers.
@@ -157,12 +164,20 @@ class RunRequest:
         replication helpers use this to fan one config out over seeds.
     options:
         Engine flags threaded through to the engine.
+    pack:
+        Optional :class:`~repro.workload.packs.TracePack` naming the
+        workload; ``None`` selects the synthetic default pack.  The
+        pack's *content* descriptor (schema, version, kind, sha256 --
+        not the name) joins the fingerprint, so a recorded-CSV run
+        caches by the recording's actual bytes and renaming a pack
+        keeps its cached runs warm.
     """
 
     config: ExperimentConfig
     policy: PlacementPolicy
     seed: int | None = None
     options: EngineOptions = field(default_factory=EngineOptions)
+    pack: TracePack | None = None
 
     def resolved_config(self) -> ExperimentConfig:
         """The config with the seed override applied."""
@@ -177,6 +192,9 @@ class RunRequest:
             "config": canonical(self.resolved_config()),
             "policy": canonical(self.policy.descriptor()),
             "options": canonical(self.options),
+            "pack": (
+                None if self.pack is None else self.pack.content_descriptor()
+            ),
         }
 
     def fingerprint(self) -> str:
@@ -335,6 +353,7 @@ def execute_request(request: RunRequest) -> RunResult:
         validate=request.options.validate,
         clairvoyant=request.options.clairvoyant,
         vectorized=request.options.vectorized,
+        workload=request.pack,
     )
     return engine.run()
 
@@ -375,6 +394,19 @@ class Orchestrator:
         self.store = store if store is not None else ResultStore()
         self.jobs = max(1, int(jobs))
         self.use_store = use_store
+
+    def with_jobs(self, jobs: int) -> "Orchestrator":
+        """This orchestrator's store and options at a new worker count.
+
+        Returns ``self`` when the count already matches -- the helper
+        behind every ``jobs=N`` convenience parameter in the
+        experiment runners.
+        """
+        if jobs == self.jobs:
+            return self
+        return Orchestrator(
+            store=self.store, jobs=jobs, use_store=self.use_store
+        )
 
     def run(
         self, request: RunRequest, use_store: bool | None = None
@@ -428,6 +460,13 @@ class Orchestrator:
     def _execute_pending(
         self, pending: dict[str, RunRequest]
     ) -> dict[str, tuple[RunResult, float]]:
+        """Simulate every pending request, recording each on completion.
+
+        Results stream into the store as workers finish, so a batch
+        that dies partway (a worker crash, an interrupt) keeps every
+        completed run; the first failure re-raises only after all
+        surviving completions are persisted.
+        """
         computed: dict[str, tuple[RunResult, float]] = {}
         if not pending:
             return computed
@@ -439,13 +478,23 @@ class Orchestrator:
                 computed[fingerprint] = (result, time.perf_counter() - start)
                 self.store.put(fingerprint, result, request.descriptor())
             return computed
+        first_error: BaseException | None = None
         with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as pool:
-            timed = list(
-                pool.map(_timed_execute, [request for _, request in items])
-            )
-        for (fingerprint, request), (result, elapsed) in zip(items, timed):
-            computed[fingerprint] = (result, elapsed)
-            self.store.put(fingerprint, result, request.descriptor())
+            futures = {
+                pool.submit(_timed_execute, request): (fingerprint, request)
+                for fingerprint, request in items
+            }
+            for future in as_completed(futures):
+                fingerprint, request = futures[future]
+                try:
+                    result, elapsed = future.result()
+                except BaseException as error:  # persist survivors first
+                    first_error = first_error or error
+                    continue
+                computed[fingerprint] = (result, elapsed)
+                self.store.put(fingerprint, result, request.descriptor())
+        if first_error is not None:
+            raise first_error
         return computed
 
 
@@ -454,6 +503,7 @@ def grid_requests(
     policies_for: Callable[[ExperimentConfig], list[PlacementPolicy]],
     seeds: Sequence[int] | None = None,
     options: EngineOptions | None = None,
+    pack: TracePack | None = None,
 ) -> list[RunRequest]:
     """Cross a config iterable with per-config policies and seeds.
 
@@ -469,6 +519,9 @@ def grid_requests(
         Seed overrides; ``None`` keeps each config's own seed.
     options:
         Engine flags applied to every request.
+    pack:
+        Workload pack applied to every request (``None`` = synthetic
+        default).
     """
     options = options or EngineOptions()
     requests = []
@@ -477,7 +530,11 @@ def grid_requests(
             for policy in policies_for(config):
                 requests.append(
                     RunRequest(
-                        config=config, policy=policy, seed=seed, options=options
+                        config=config,
+                        policy=policy,
+                        seed=seed,
+                        options=options,
+                        pack=pack,
                     )
                 )
     return requests

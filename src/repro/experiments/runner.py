@@ -30,6 +30,7 @@ from repro.experiments.orchestrator import (
 from repro.sim.config import ExperimentConfig
 from repro.sim.results import RunResult
 from repro.sim.state import PlacementPolicy
+from repro.workload.packs import TracePack
 
 #: Process-wide default orchestrator; its store replaces the old
 #: ``_CACHE`` dict (memory layer, plus disk when $REPRO_RESULT_STORE
@@ -61,6 +62,7 @@ def run_comparison(
     use_cache: bool = True,
     jobs: int = 1,
     orchestrator: Orchestrator | None = None,
+    pack: TracePack | None = None,
 ) -> list[RunResult]:
     """Run the four methods over one workload realization.
 
@@ -79,15 +81,16 @@ def run_comparison(
         Worker processes for uncached runs (1 = serial).
     orchestrator:
         Execution backend; defaults to the process-wide one.
+    pack:
+        Workload pack for every run (``None`` = synthetic default);
+        its content hash keys the result store.
     """
     orchestrator = orchestrator or default_orchestrator()
     if jobs != 1:
-        orchestrator = Orchestrator(
-            store=orchestrator.store,
-            jobs=jobs,
-            use_store=orchestrator.use_store,
-        )
-    requests = grid_requests([config], lambda _: default_policies(alpha))
+        orchestrator = orchestrator.with_jobs(jobs)
+    requests = grid_requests(
+        [config], lambda _: default_policies(alpha), pack=pack
+    )
     artifacts = orchestrator.run_many(requests, use_store=use_cache)
     return [artifact.result for artifact in artifacts]
 
@@ -98,6 +101,7 @@ def run_replicated_comparison(
     seeds: tuple[int, ...] = (0, 1, 2),
     jobs: int = 1,
     orchestrator: Orchestrator | None = None,
+    pack: TracePack | None = None,
 ) -> dict[str, list[RunResult]]:
     """The four-method comparison replicated over several seeds.
 
@@ -108,13 +112,9 @@ def run_replicated_comparison(
     """
     orchestrator = orchestrator or default_orchestrator()
     if jobs != 1:
-        orchestrator = Orchestrator(
-            store=orchestrator.store,
-            jobs=jobs,
-            use_store=orchestrator.use_store,
-        )
+        orchestrator = orchestrator.with_jobs(jobs)
     requests = grid_requests(
-        [config], lambda _: default_policies(alpha), seeds=list(seeds)
+        [config], lambda _: default_policies(alpha), seeds=list(seeds), pack=pack
     )
     artifacts = orchestrator.run_many(requests)
     replicates: dict[str, list[RunResult]] = {}

@@ -13,19 +13,37 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-from repro.experiments.orchestrator import Orchestrator, grid_requests
+from repro.experiments.orchestrator import Orchestrator, RunRequest
 from repro.experiments.runner import default_orchestrator, default_policies
 from repro.sim.config import ExperimentConfig
 from repro.sim.metrics import improvement_pct
-from repro.workload.vm import AppType
+from repro.workload.packs import SCENARIO_MIXES, SCENARIO_PACKS, TracePack
 
-#: Named archetype mixes: scale-out-heavy, HPC-heavy, and the paper-like
-#: blend the library defaults to.
-SCENARIO_MIXES: dict[str, dict[AppType, float]] = {
-    "scale-out": {AppType.WEB: 0.8, AppType.BATCH: 0.15, AppType.HPC: 0.05},
-    "mixed": {AppType.WEB: 0.5, AppType.BATCH: 0.3, AppType.HPC: 0.2},
-    "hpc": {AppType.WEB: 0.1, AppType.BATCH: 0.2, AppType.HPC: 0.7},
-}
+__all__ = [
+    "SCENARIO_MIXES",
+    "SCENARIO_PACKS",
+    "ScenarioOutcome",
+    "format_outcomes",
+    "run_scenarios",
+    "scenario_config",
+    "scenario_pack",
+]
+
+
+def scenario_pack(base: TracePack, scenario: str) -> TracePack:
+    """``base`` with a scenario's archetype mix layered on top.
+
+    Lets a recorded (or otherwise customized) pack run the scenario
+    study: the derived pack keeps the base's trace source and datacorr
+    parameters and swaps in the scenario's app mix (new content hash).
+    """
+    if scenario not in SCENARIO_MIXES:
+        raise KeyError(
+            f"unknown scenario {scenario!r}; choose from {sorted(SCENARIO_MIXES)}"
+        )
+    return base.with_app_mix(
+        SCENARIO_MIXES[scenario], name=f"{base.name}-{scenario}"
+    )
 
 
 @dataclass(frozen=True)
@@ -64,24 +82,36 @@ def run_scenarios(
     alpha: float = 0.5,
     jobs: int = 1,
     orchestrator: Orchestrator | None = None,
+    pack: TracePack | None = None,
 ) -> list[ScenarioOutcome]:
     """Four-method comparison per scenario, summarized vs best baseline.
 
     The whole (scenario x policy) grid is submitted as one orchestrator
     batch, so with ``jobs > 1`` scenarios and policies parallelize
-    together.
+    together.  Without a ``pack`` the mixes apply through
+    :func:`scenario_config`; with one, each scenario runs the derived
+    :func:`scenario_pack` (same trace source, scenario app mix) so
+    recorded workloads join the study and cache by content hash.
+
+    Note that the archetype mix shapes *synthetic* diurnal profiles;
+    a recorded source serves the recorded demand regardless of app
+    type, so scenario outcomes on a recorded pack coincide by
+    construction (the study is meaningful for synthetic sources).
     """
     orchestrator = orchestrator or default_orchestrator()
     if jobs != 1:
-        orchestrator = Orchestrator(
-            store=orchestrator.store,
-            jobs=jobs,
-            use_store=orchestrator.use_store,
+        orchestrator = orchestrator.with_jobs(jobs)
+    requests = []
+    for scenario in scenarios:
+        if pack is None:
+            config, run_pack = scenario_config(base, scenario), None
+        else:
+            config, run_pack = base, scenario_pack(pack, scenario)
+        requests.extend(
+            RunRequest(config=config, policy=policy, pack=run_pack)
+            for policy in default_policies(alpha)
         )
-    configs = [scenario_config(base, scenario) for scenario in scenarios]
-    artifacts = orchestrator.run_many(
-        grid_requests(configs, lambda _: default_policies(alpha))
-    )
+    artifacts = orchestrator.run_many(requests)
     n_policies = len(default_policies(alpha))
     outcomes = []
     for index, scenario in enumerate(scenarios):

@@ -43,8 +43,7 @@ from repro.sim.results import DCSlotRecord, RunResult, SlotRecord
 from repro.sim.state import FleetPlacement, PlacementPolicy, SlotObservation
 from repro.units import SECONDS_PER_HOUR
 from repro.workload.arrivals import VMPopulation
-from repro.workload.datacorr import DataCorrelationProcess
-from repro.workload.traces import TraceLibrary
+from repro.workload.packs import LibraryWorkload, WorkloadProvider, default_pack
 from repro.workload.vm import VirtualMachine
 
 
@@ -61,10 +60,19 @@ class SimulationEngine:
         Validate every placement against the observation (cheap; keep
         on except in micro-benchmarks).
     trace_library:
-        Optional replacement trace provider (e.g. a
+        Legacy escape hatch: a pre-built trace library (e.g. a
         :class:`~repro.workload.recorded.RecordedTraceLibrary` holding
-        real DC traces); defaults to the synthetic
-        :class:`~repro.workload.traces.TraceLibrary`.
+        real DC traces), wrapped into a
+        :class:`~repro.workload.packs.LibraryWorkload`.  Mutually
+        exclusive with ``workload``.
+    workload:
+        The :class:`~repro.workload.packs.WorkloadProvider` supplying
+        traces and data volumes -- typically a named, content-hashed
+        :class:`~repro.workload.packs.TracePack`.  Defaults to the
+        synthetic pack, which reproduces the engine's historical
+        workload bit-for-bit.  The provider may also rewrite the
+        config (``configure``), e.g. a scenario pack overriding the
+        arrival model's archetype mix.
     clairvoyant:
         When True the observation carries the *current* slot's traces
         and volumes instead of the previous slot's -- a perfect
@@ -85,20 +93,31 @@ class SimulationEngine:
         trace_library=None,
         clairvoyant: bool = False,
         vectorized: bool = True,
+        workload: WorkloadProvider | None = None,
     ) -> None:
+        if workload is not None and trace_library is not None:
+            raise ValueError(
+                "pass either workload or trace_library, not both"
+            )
+        if workload is None:
+            workload = (
+                LibraryWorkload(trace_library)
+                if trace_library is not None
+                else default_pack()
+            )
+        config = workload.configure(config)
         self.config = config
         self.policy = policy
         self.validate = validate
         self.clairvoyant = clairvoyant
         self.vectorized = vectorized
+        self.workload = workload
 
         self.population = VMPopulation.generate(
             config.arrival_model, config.horizon_slots, seed=config.seed
         )
-        self.traces = trace_library or TraceLibrary(
-            steps_per_slot=config.steps_per_slot, seed=config.seed + 1
-        )
-        self.volumes = DataCorrelationProcess(seed=config.seed + 2)
+        self.traces = workload.build_traces(config)
+        self.volumes = workload.build_volumes(config, vectorized=vectorized)
         self.latency_model = build_latency_model(config)
         self.green = GreenController(
             step_s=SECONDS_PER_HOUR / config.steps_per_slot
@@ -405,14 +424,15 @@ def run_policies(
     trace_library=None,
     clairvoyant: bool = False,
     vectorized: bool = True,
+    workload: WorkloadProvider | None = None,
 ) -> list[RunResult]:
     """Run several policies over the *same* workload realization.
 
     Every engine derives its stochastic streams from ``config.seed``,
     so policies see identical VMs, traces, volumes, weather and BER --
     the paper's comparison protocol.  The engine options (``validate``,
-    ``trace_library``, ``clairvoyant``, ``vectorized``) are forwarded
-    to every :class:`SimulationEngine` constructed.
+    ``trace_library``, ``clairvoyant``, ``vectorized``, ``workload``)
+    are forwarded to every :class:`SimulationEngine` constructed.
     """
     return [
         SimulationEngine(
@@ -422,6 +442,7 @@ def run_policies(
             trace_library=trace_library,
             clairvoyant=clairvoyant,
             vectorized=vectorized,
+            workload=workload,
         ).run()
         for policy in policies
     ]

@@ -12,11 +12,27 @@ with (Section V-A):
   (:mod:`repro.workload.vm`),
 * pairwise data volumes drawn from a log-normal distribution with a
   10 MB mean and uniform variance in [1, 4]
-  (:mod:`repro.workload.datacorr`).
+  (:mod:`repro.workload.datacorr`),
+* and versioned, content-hashed *trace packs* that bundle a trace
+  source with its data-correlation parameters behind the single
+  :class:`~repro.workload.packs.WorkloadProvider` layer the engine and
+  orchestrator consume (:mod:`repro.workload.packs`).
 """
 
 from repro.workload.arrivals import ArrivalModel, VMPopulation
 from repro.workload.datacorr import DataCorrelationProcess, VolumeMatrix
+from repro.workload.packs import (
+    DataCorrelationParams,
+    LibraryWorkload,
+    RecordedTraceSource,
+    SyntheticTraceSource,
+    TracePack,
+    WorkloadProvider,
+    available_packs,
+    default_pack,
+    get_pack,
+    register_pack,
+)
 from repro.workload.recorded import RecordedTraceLibrary, load_utilization_csv
 from repro.workload.traces import ApplicationProfile, TraceLibrary
 from repro.workload.vm import AppType, VirtualMachine, sample_image_size_gb
@@ -25,12 +41,22 @@ __all__ = [
     "AppType",
     "ApplicationProfile",
     "ArrivalModel",
+    "DataCorrelationParams",
     "DataCorrelationProcess",
+    "LibraryWorkload",
     "RecordedTraceLibrary",
+    "RecordedTraceSource",
+    "SyntheticTraceSource",
     "TraceLibrary",
+    "TracePack",
     "VMPopulation",
     "VirtualMachine",
     "VolumeMatrix",
+    "WorkloadProvider",
+    "available_packs",
+    "default_pack",
+    "get_pack",
     "load_utilization_csv",
+    "register_pack",
     "sample_image_size_gb",
 ]

@@ -33,7 +33,9 @@ from repro.workload.vm import VirtualMachine
 def load_utilization_csv(path: str | pathlib.Path) -> np.ndarray:
     """Read a utilization matrix: one VM per row, one sample per column.
 
-    Values must parse as floats in [0, 1]; rows must have equal length.
+    Blank lines and ``#``-comment lines are skipped.  Values must parse
+    as floats in [0, 1] -- a bad cell is reported with its file, line
+    and column -- and rows must have equal length.
     """
     path = pathlib.Path(path)
     rows: list[list[float]] = []
@@ -41,20 +43,30 @@ def load_utilization_csv(path: str | pathlib.Path) -> np.ndarray:
         for line_number, row in enumerate(csv.reader(handle), start=1):
             if not row or all(not cell.strip() for cell in row):
                 continue
-            try:
-                values = [float(cell) for cell in row]
-            except ValueError as error:
-                raise ValueError(f"{path}:{line_number}: {error}") from error
+            if row[0].lstrip().startswith("#"):
+                continue
+            values: list[float] = []
+            for column, cell in enumerate(row, start=1):
+                try:
+                    value = float(cell)
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{line_number}:{column}: "
+                        f"not a number: {cell.strip()!r}"
+                    ) from None
+                if not 0.0 <= value <= 1.0:
+                    raise ValueError(
+                        f"{path}:{line_number}:{column}: "
+                        f"utilization {value!r} outside [0, 1]"
+                    )
+                values.append(value)
             rows.append(values)
     if not rows:
         raise ValueError(f"{path}: no utilization rows")
     lengths = {len(row) for row in rows}
     if len(lengths) != 1:
         raise ValueError(f"{path}: ragged rows (lengths {sorted(lengths)})")
-    matrix = np.asarray(rows, dtype=float)
-    if matrix.min() < 0.0 or matrix.max() > 1.0:
-        raise ValueError(f"{path}: utilization values must be in [0, 1]")
-    return matrix
+    return np.asarray(rows, dtype=float)
 
 
 class RecordedTraceLibrary:

@@ -3,6 +3,8 @@
 import dataclasses
 import json
 
+import numpy as np
+
 import pytest
 
 from repro.experiments.orchestrator import (
@@ -15,6 +17,7 @@ from repro.experiments.orchestrator import (
 )
 from repro.experiments.runner import default_policies
 from repro.sim.config import scaled_config
+from repro.sim.state import PlacementPolicy
 
 
 def tiny(horizon: int = 3, seed: int = 0):
@@ -24,7 +27,9 @@ def tiny(horizon: int = 3, seed: int = 0):
 def request(policy_index: int = 1, **kwargs):
     return RunRequest(
         config=kwargs.pop("config", tiny()),
-        policy=default_policies(kwargs.pop("alpha", 0.5))[policy_index],
+        policy=kwargs.pop(
+            "policy", None
+        ) or default_policies(kwargs.pop("alpha", 0.5))[policy_index],
         **kwargs,
     )
 
@@ -228,3 +233,107 @@ class TestUseStoreDefault:
         orchestrator = Orchestrator(store=store, use_store=False)
         orchestrator.run(request())
         assert orchestrator.run(request(), use_store=True).source == "memory"
+
+
+class TestPackFingerprints:
+    def recorded(self, tweak: float = 0.0, name: str = "rec"):
+        from repro.workload.packs import RecordedTraceSource, TracePack
+
+        rng = np.random.default_rng(8)
+        matrix = rng.uniform(0.1, 0.8, size=(3, 60))
+        matrix[0, 0] += tweak
+        return TracePack(
+            name=name,
+            source=RecordedTraceSource(utilization=matrix, steps_per_slot=30),
+        )
+
+    def test_pack_distinguishes_from_default(self):
+        assert request().fingerprint() != request(pack=self.recorded()).fingerprint()
+
+    def test_same_content_same_fingerprint(self):
+        assert (
+            request(pack=self.recorded()).fingerprint()
+            == request(pack=self.recorded()).fingerprint()
+        )
+
+    def test_rename_keeps_fingerprint(self):
+        """Pack names are labels, not content: renames stay cache-warm."""
+        assert (
+            request(pack=self.recorded(name="a")).fingerprint()
+            == request(pack=self.recorded(name="b")).fingerprint()
+        )
+
+    def test_content_change_changes_fingerprint(self):
+        assert (
+            request(pack=self.recorded()).fingerprint()
+            != request(pack=self.recorded(tweak=0.01)).fingerprint()
+        )
+
+    def test_pack_descriptor_stored(self):
+        descriptor = request(pack=self.recorded()).descriptor()
+        assert descriptor["pack"]["kind"] == "recorded"
+        assert descriptor["pack"]["sha256"] == self.recorded().sha256
+
+    def test_grid_requests_thread_pack(self):
+        pack = self.recorded()
+        requests = grid_requests(
+            [tiny()], lambda _: default_policies(), seeds=[0, 1], pack=pack
+        )
+        assert all(req.pack is pack for req in requests)
+
+    def test_recorded_pack_roundtrips_through_store(self, tmp_path):
+        pack = self.recorded()
+        cold = Orchestrator(store=ResultStore(tmp_path)).run(request(pack=pack))
+        warm = Orchestrator(store=ResultStore(tmp_path)).run(
+            request(pack=self.recorded())
+        )
+        assert warm.source == "disk"
+        assert warm.result.slots == cold.result.slots
+
+    def test_parallel_workers_receive_pack(self):
+        pack = self.recorded()
+        serial = Orchestrator(store=ResultStore(), jobs=1).run_many(
+            [request(index, pack=pack) for index in range(2)]
+        )
+        parallel = Orchestrator(store=ResultStore(), jobs=2).run_many(
+            [request(index, pack=pack) for index in range(2)]
+        )
+        for left, right in zip(serial, parallel):
+            assert left.result.slots == right.result.slots
+
+
+class ExplodingPolicy(PlacementPolicy):
+    """Raises on first placement; picklable for pool workers."""
+
+    name = "Exploding"
+
+    def place(self, observation):
+        raise RuntimeError("boom")
+
+
+class TestParallelFailureIsolation:
+    def test_completed_runs_persist_when_a_worker_fails(self, tmp_path):
+        store = ResultStore(tmp_path)
+        orchestrator = Orchestrator(store=store, jobs=2)
+        batch = [request(1), request(2), request(policy=ExplodingPolicy())]
+        with pytest.raises(RuntimeError, match="boom"):
+            orchestrator.run_many(batch)
+        # The two healthy runs streamed into the disk store before the
+        # failure re-raised; a retry resolves them without simulating.
+        assert batch[0].fingerprint() in store
+        assert batch[1].fingerprint() in store
+        retry = Orchestrator(store=ResultStore(tmp_path)).run(request(1))
+        assert retry.source == "disk"
+
+
+class TestWithJobs:
+    def test_same_count_returns_self(self):
+        orchestrator = Orchestrator(jobs=2)
+        assert orchestrator.with_jobs(2) is orchestrator
+
+    def test_new_count_shares_store_and_options(self):
+        orchestrator = Orchestrator(jobs=1, use_store=False)
+        rewrapped = orchestrator.with_jobs(4)
+        assert rewrapped.jobs == 4
+        assert rewrapped.store is orchestrator.store
+        assert rewrapped.use_store is False

@@ -83,3 +83,36 @@ class TestAppMixValidation:
             for _ in range(50)
         }
         assert draws <= {AppType.WEB, AppType.HPC}
+
+
+class TestScenarioPacks:
+    def test_scenario_pack_derives_mix_and_name(self):
+        from repro.experiments.scenarios import scenario_pack
+        from repro.workload.packs import default_pack
+
+        derived = scenario_pack(default_pack(), "hpc")
+        assert derived.name == "synthetic-hpc"
+        assert derived.app_mix == SCENARIO_MIXES["hpc"]
+        assert derived.sha256 != default_pack().sha256
+
+    def test_scenario_pack_unknown_scenario(self):
+        from repro.experiments.scenarios import scenario_pack
+        from repro.workload.packs import default_pack
+
+        with pytest.raises(KeyError, match="unknown scenario"):
+            scenario_pack(default_pack(), "nope")
+
+    def test_run_scenarios_with_pack(self, tiny_config):
+        from repro.experiments.orchestrator import Orchestrator
+        from repro.experiments.scenarios import run_scenarios
+        from repro.workload.packs import default_pack
+
+        config = tiny_config.with_horizon(2)
+        outcomes = run_scenarios(
+            config,
+            scenarios=("scale-out", "hpc"),
+            orchestrator=Orchestrator(),
+            pack=default_pack(),
+        )
+        assert [outcome.scenario for outcome in outcomes] == ["scale-out", "hpc"]
+        assert all(outcome.proposed_energy_gj > 0 for outcome in outcomes)

@@ -1,0 +1,90 @@
+"""Property-based tests (hypothesis) on recorded-trace week extension.
+
+The paper's extension rule -- replay the recorded day adding
+statistical variance *with the same mean* -- pins three invariants for
+any recording: shape (days x the recorded columns), mean preservation
+within noise tolerance, and determinism under the ``rng_for`` seeded
+streams.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.workload.recorded import RecordedTraceLibrary
+
+#: Slot resolution used throughout; columns are multiples of this.
+STEPS = 10
+
+#: Interior utilizations keep the [0, 1] clip inactive (>= 10 sigma of
+#: headroom at the extension sigma below), so the mean property is the
+#: noise's, not the clip's.
+recorded_matrices = arrays(
+    dtype=float,
+    shape=st.tuples(st.integers(1, 4), st.integers(1, 3)).map(
+        lambda dims: (dims[0], dims[1] * STEPS)
+    ),
+    elements=st.floats(0.25, 0.75, allow_nan=False),
+)
+
+EXTENSION_SIGMA = 0.02
+
+
+class TestExtendDaysProperties:
+    @given(matrix=recorded_matrices, days=st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_shape_is_days_by_recorded_columns(self, matrix, days):
+        library = RecordedTraceLibrary(matrix, steps_per_slot=STEPS)
+        week = library.extend_days(days, extension_sigma=EXTENSION_SIGMA)
+        assert week.utilization.shape == (
+            matrix.shape[0],
+            days * matrix.shape[1],
+        )
+        assert week.recorded_slots == days * library.recorded_slots
+        assert np.array_equal(week.utilization[:, : matrix.shape[1]], matrix)
+
+    @given(matrix=recorded_matrices, days=st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_mean_preserved_within_tolerance(self, matrix, days):
+        library = RecordedTraceLibrary(matrix, steps_per_slot=STEPS)
+        week = library.extend_days(days, extension_sigma=EXTENSION_SIGMA)
+        columns = matrix.shape[1]
+        for day in range(1, days):
+            block = week.utilization[:, day * columns : (day + 1) * columns]
+            # Zero-mean noise: the day mean moves by at most a few
+            # standard errors (sigma / sqrt(cells), >= 10 cells here).
+            tolerance = 6.0 * EXTENSION_SIGMA / np.sqrt(block.size)
+            assert abs(block.mean() - matrix.mean()) < tolerance
+            assert np.all(block >= 0.0)
+            assert np.all(block <= 1.0)
+
+    @given(
+        matrix=recorded_matrices,
+        days=st.integers(1, 5),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_under_rng_for(self, matrix, days, seed):
+        library = RecordedTraceLibrary(matrix, steps_per_slot=STEPS)
+        first = library.extend_days(
+            days, extension_sigma=EXTENSION_SIGMA, seed=seed
+        )
+        second = library.extend_days(
+            days, extension_sigma=EXTENSION_SIGMA, seed=seed
+        )
+        assert np.array_equal(first.utilization, second.utilization)
+
+    @given(matrix=recorded_matrices, days=st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_seed_changes_later_days_only(self, matrix, days):
+        library = RecordedTraceLibrary(matrix, steps_per_slot=STEPS)
+        a = library.extend_days(days, extension_sigma=EXTENSION_SIGMA, seed=0)
+        b = library.extend_days(days, extension_sigma=EXTENSION_SIGMA, seed=1)
+        columns = matrix.shape[1]
+        assert np.array_equal(
+            a.utilization[:, :columns], b.utilization[:, :columns]
+        )
+        assert not np.array_equal(
+            a.utilization[:, columns:], b.utilization[:, columns:]
+        )

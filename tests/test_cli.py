@@ -1,8 +1,10 @@
 """Command-line interface."""
 
+import numpy as np
 import pytest
 
 from repro.cli import build_parser, main
+from repro.sim.engine import SimulationEngine
 
 
 class TestParser:
@@ -89,6 +91,11 @@ class TestOrchestratorFlags:
         assert args.no_cache is False
         assert args.store is None
 
+    def test_seeds_rejected_outside_compare(self):
+        with pytest.raises(SystemExit, match="compare command only"):
+            main(["figures", "--scale", "tiny", "--horizon", "2",
+                  "--seeds", "3"])
+
     def test_compare_replicated_seeds(self, capsys):
         code = main(
             ["compare", "--scale", "tiny", "--horizon", "2", "--seeds", "2"]
@@ -129,3 +136,81 @@ class TestOrchestratorFlags:
                 ["compare", "--scale", "tiny", "--horizon", "2",
                  "--store", str(not_a_dir)]
             )
+
+
+def write_recording(tmp_path, steps_per_slot: int = 30, slots: int = 2):
+    """A small utilization CSV compatible with the tiny scale."""
+    rng = np.random.default_rng(3)
+    matrix = rng.uniform(0.1, 0.9, size=(4, steps_per_slot * slots))
+    path = tmp_path / "recording.csv"
+    np.savetxt(path, matrix, delimiter=",")
+    return path
+
+
+class TestPackFlags:
+    def test_packs_command_lists_registry(self, capsys):
+        assert main(["packs"]) == 0
+        out = capsys.readouterr().out
+        assert "synthetic" in out
+        assert "scenario-hpc" in out
+        assert "sha256" in out
+
+    def test_named_pack_runs(self, capsys):
+        code = main(
+            ["compare", "--scale", "tiny", "--horizon", "2",
+             "--pack", "scenario-hpc"]
+        )
+        assert code == 0
+        assert "Proposed" in capsys.readouterr().out
+
+    def test_unknown_pack_rejected(self):
+        with pytest.raises(SystemExit, match="unknown pack"):
+            main(["compare", "--scale", "tiny", "--horizon", "2",
+                  "--pack", "nope"])
+
+    def test_pack_and_pack_csv_exclusive(self, tmp_path):
+        path = write_recording(tmp_path)
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["compare", "--scale", "tiny", "--horizon", "2",
+                  "--pack", "synthetic", "--pack-csv", str(path)])
+
+    def test_missing_pack_csv_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["compare", "--scale", "tiny", "--horizon", "2",
+                  "--pack-csv", str(tmp_path / "absent.csv")])
+
+    def test_pack_csv_runs_comparison(self, capsys, tmp_path):
+        path = write_recording(tmp_path)
+        code = main(
+            ["compare", "--scale", "tiny", "--horizon", "2",
+             "--pack-csv", str(path)]
+        )
+        assert code == 0
+        assert "Proposed" in capsys.readouterr().out
+
+    def test_pack_csv_warm_store_skips_engine(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """Second recorded-CSV run must resolve every run from the store."""
+        path = write_recording(tmp_path)
+        store = tmp_path / "store"
+        argv = [
+            "compare", "--scale", "tiny", "--horizon", "2",
+            "--pack-csv", str(path), "--store", str(store),
+        ]
+        invocations = []
+        original = SimulationEngine.run
+
+        def counting_run(self):
+            invocations.append(self.policy.name)
+            return original(self)
+
+        monkeypatch.setattr(SimulationEngine, "run", counting_run)
+        assert main(argv) == 0
+        assert len(invocations) == 4
+        first = capsys.readouterr().out
+
+        invocations.clear()
+        assert main(argv) == 0
+        assert invocations == []  # zero engine invocations on the warm run
+        assert capsys.readouterr().out == first

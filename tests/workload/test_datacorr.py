@@ -147,3 +147,81 @@ class TestVolumesMatrixGeneration:
             DataCorrelationProcess(background_fraction=1.5)
         with pytest.raises(ValueError, match="background_scale"):
             DataCorrelationProcess(background_scale=-0.1)
+
+
+class TestVolumeMatrixEdgeCases:
+    def test_single_vm_population(self, process):
+        matrix = process.volumes([make_vm(vm_id=3)], 0)
+        assert matrix.vm_ids == [3]
+        assert matrix.volumes.shape == (1, 1)
+        assert matrix.total_mb() == 0.0
+        assert matrix.pair_volume(3, 3) == 0.0
+
+    def test_empty_pair_set(self, process):
+        matrix = process.volumes([], 0)
+        assert matrix.vm_ids == []
+        assert matrix.volumes.shape == (0, 0)
+        assert matrix.total_mb() == 0.0
+        assert matrix.symmetric().shape == (0, 0)
+
+    def test_directed_volumes_asymmetric(self, process, six_vms):
+        matrix = process.volumes(six_vms, 2)
+        a, b = six_vms[0].vm_id, six_vms[1].vm_id
+        assert matrix.volume(a, b) != matrix.volume(b, a)
+
+    def test_pair_volume_symmetric(self, process, six_vms):
+        matrix = process.volumes(six_vms, 2)
+        for a in six_vms:
+            for b in six_vms:
+                assert matrix.pair_volume(a.vm_id, b.vm_id) == (
+                    matrix.pair_volume(b.vm_id, a.vm_id)
+                )
+
+
+def make_population(n: int) -> list:
+    """Mixed-service population with non-contiguous vm ids."""
+    return [
+        make_vm(vm_id=3 + 7 * i, service_id=i // 4, seed=i) for i in range(n)
+    ]
+
+
+class TestVectorizedEquivalence:
+    """The batched path must be bit-identical to the reference loop."""
+
+    @pytest.mark.parametrize("n", [1, 2, 50, 200])
+    def test_bit_identical_across_sizes(self, n):
+        vms = make_population(n)
+        loop = DataCorrelationProcess(seed=17, vectorized=False)
+        vectorized = DataCorrelationProcess(seed=17, vectorized=True)
+        for slot in (0, 7):
+            reference = loop.volumes(vms, slot)
+            batched = vectorized.volumes(vms, slot)
+            assert batched.vm_ids == reference.vm_ids
+            assert np.array_equal(batched.volumes, reference.volumes)
+
+    def test_bit_identical_dense(self):
+        vms = make_population(12)
+        loop = DataCorrelationProcess(dense=True, seed=5, vectorized=False)
+        vectorized = DataCorrelationProcess(dense=True, seed=5, vectorized=True)
+        assert np.array_equal(
+            vectorized.volumes(vms, 3).volumes, loop.volumes(vms, 3).volumes
+        )
+
+    def test_population_change_invalidates_nothing(self):
+        """Shrinking/growing the alive set keeps results loop-identical."""
+        process = DataCorrelationProcess(seed=9)
+        loop = DataCorrelationProcess(seed=9, vectorized=False)
+        full = make_population(10)
+        for vms in (full, full[:6], full[2:9], full):
+            assert np.array_equal(
+                process.volumes(vms, 4).volumes, loop.volumes(vms, 4).volumes
+            )
+
+    def test_population_cache_bounded(self):
+        process = DataCorrelationProcess(seed=9)
+        for start in range(process.POPULATION_CACHE_SIZE + 4):
+            process.volumes(make_population(12)[start % 6 :], 0)
+        assert len(process._population_cache) <= process.POPULATION_CACHE_SIZE
+
+    def test_default_is_vectorized(self):
+        assert DataCorrelationProcess().vectorized is True

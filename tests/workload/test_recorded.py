@@ -57,6 +57,34 @@ class TestCsvLoading:
         with pytest.raises(ValueError, match="no utilization"):
             load_utilization_csv(path)
 
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "traces.csv"
+        path.write_text(
+            "# recorded at DC-1, 5 s sampling\n"
+            "0.1,0.2\n"
+            "  # mid-file annotation\n"
+            "0.3,0.4\n"
+        )
+        assert load_utilization_csv(path).shape == (2, 2)
+
+    def test_out_of_range_names_file_line_column(self, tmp_path):
+        path = tmp_path / "traces.csv"
+        path.write_text("# header\n0.1,0.2\n0.3,1.7\n")
+        with pytest.raises(ValueError, match=r"traces\.csv:3:2: .*1\.7"):
+            load_utilization_csv(path)
+
+    def test_non_numeric_names_file_line_column(self, tmp_path):
+        path = tmp_path / "traces.csv"
+        path.write_text("0.1,0.2\n0.3,oops\n")
+        with pytest.raises(ValueError, match=r"traces\.csv:2:2: .*'oops'"):
+            load_utilization_csv(path)
+
+    def test_nan_rejected_as_out_of_range(self, tmp_path):
+        path = tmp_path / "traces.csv"
+        path.write_text("0.1,nan\n")
+        with pytest.raises(ValueError, match=r"traces\.csv:1:2"):
+            load_utilization_csv(path)
+
 
 class TestLibrary:
     def test_shape_properties(self, library):

@@ -2,9 +2,10 @@
 #
 #   make test        - tier-1 test suite (fast; what CI gates on)
 #   make bench-smoke - tiny-scale benchmark suite: orchestrator fan-out,
-#                      result-store warm hits, the engine's per-slot
-#                      hot paths and the data-correlation generation
-#                      (loop vs vectorized)
+#                      result-store warm hits, store-backend write/read/
+#                      scan (per-file vs sharded vs segment), the
+#                      engine's per-slot hot paths and the
+#                      data-correlation generation (loop vs vectorized)
 #   make bench       - full benchmark harness (slow: one-week comparison)
 
 PYTEST := PYTHONPATH=src python -m pytest
@@ -19,7 +20,8 @@ test:
 bench-smoke:
 	$(PYTEST) -q benchmarks/bench_orchestrator.py \
 		benchmarks/bench_scaling.py benchmarks/bench_datacorr.py \
-		-k "orchestrator or it_power or response_latencies or datacorr" \
+		benchmarks/bench_store.py \
+		-k "orchestrator or it_power or response_latencies or datacorr or store" \
 		--benchmark-min-rounds=3
 
 bench:

@@ -235,16 +235,30 @@ def comparison_bounds(
 ) -> list[tuple[RunResult, CostLowerBound]]:
     """Four-method comparison with the sourcing bound per policy.
 
-    Obtains the comparison runs through the experiment orchestrator
+    Obtains the comparison runs through the orchestrator's futures API
     (parallel with ``jobs > 1``, cached by the result store) and solves
-    the offline LP for each; the LP itself is cheap next to the runs.
+    each policy's offline LP *as its run resolves* -- the dependent
+    analysis is chained on completion instead of waiting behind the
+    slowest policy.  The returned list keeps the comparison's policy
+    order.
     """
-    from repro.experiments.runner import run_comparison
-
-    results = run_comparison(
-        config, alpha=alpha, jobs=jobs, orchestrator=orchestrator, pack=pack
+    from repro.experiments.orchestrator import grid_requests
+    from repro.experiments.runner import (
+        default_orchestrator,
+        default_policies,
     )
-    return [
-        (result, operational_cost_lower_bound(result, config))
-        for result in results
-    ]
+
+    orchestrator = orchestrator or default_orchestrator()
+    if jobs != 1:
+        orchestrator = orchestrator.with_jobs(jobs)
+    futures = orchestrator.submit_many(
+        grid_requests([config], lambda _: default_policies(alpha), pack=pack)
+    )
+    bounds: dict[object, tuple[RunResult, CostLowerBound]] = {}
+    for future in orchestrator.as_done(futures):
+        artifact = future.result()
+        bounds[future] = (
+            artifact.result,
+            operational_cost_lower_bound(artifact.result, config),
+        )
+    return [bounds[future] for future in futures]

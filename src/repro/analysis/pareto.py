@@ -54,38 +54,40 @@ def alpha_sweep(
 ) -> list[ParetoPoint]:
     """Run the proposed controller once per alpha over one workload.
 
-    The alphas fan out as one orchestrator batch: with ``jobs > 1``
-    they run in parallel worker processes, and previously evaluated
-    alphas come back from the result store.
+    The alphas fan out through the orchestrator's futures layer: with
+    ``jobs > 1`` they run in parallel worker processes, previously
+    evaluated alphas come back from the result store immediately, and
+    progress streams per completion.  The returned list pairs each
+    artifact with its alpha by position (``alphas`` order).
     """
     from repro.experiments.runner import default_orchestrator
 
     orchestrator = orchestrator or default_orchestrator()
     if jobs != 1:
         orchestrator = orchestrator.with_jobs(jobs)
-    requests = [
-        RunRequest(
-            config=config,
-            policy=ProposedPolicy(force_params=ForceParameters(alpha=alpha)),
-            pack=pack,
-        )
-        for alpha in alphas
-    ]
-    artifacts = orchestrator.run_many(requests)
-    points = []
-    for alpha, artifact in zip(alphas, artifacts):
-        result = artifact.result
-        points.append(
-            ParetoPoint(
-                alpha=alpha,
-                cost_eur=result.total_grid_cost_eur(),
-                energy_gj=result.total_energy_gj(),
-                response_p99_s=result.percentile_response_s(
-                    WORST_CASE_PERCENTILE
+    artifacts = orchestrator.run_many(
+        [
+            RunRequest(
+                config=config,
+                policy=ProposedPolicy(
+                    force_params=ForceParameters(alpha=alpha)
                 ),
+                pack=pack,
             )
+            for alpha in alphas
+        ]
+    )
+    return [
+        ParetoPoint(
+            alpha=alpha,
+            cost_eur=artifact.result.total_grid_cost_eur(),
+            energy_gj=artifact.result.total_energy_gj(),
+            response_p99_s=artifact.result.percentile_response_s(
+                WORST_CASE_PERCENTILE
+            ),
         )
-    return points
+        for alpha, artifact in zip(alphas, artifacts)
+    ]
 
 
 def pareto_front(points: list[ParetoPoint]) -> list[ParetoPoint]:

@@ -58,6 +58,12 @@ def _run_grid(
     orchestrator = orchestrator or default_orchestrator()
     if jobs != 1:
         orchestrator = orchestrator.with_jobs(jobs)
+    # run_many streams misses through the futures layer (progress
+    # fires per completion) and returns artifacts in request order,
+    # which is what labels each row: sweep values must pair by
+    # *position*, not fingerprint -- two sweep points can collapse to
+    # one fingerprint (e.g. battery scales over a zero-battery fleet)
+    # yet still deserve their own labeled rows.
     artifacts = orchestrator.run_many(
         grid_requests(configs, lambda _: [ProposedPolicy()], pack=pack)
     )

@@ -12,14 +12,20 @@ Commands
 * ``scenarios``  -- workload-mix scenario study (scale-out/mixed/hpc)
 * ``export``     -- dump every figure's data as CSV
 * ``packs``      -- list the registered workload trace packs
+* ``store``      -- result-store maintenance: ``ls``/``gc``/``migrate``
+  /``compact`` documents by pack name, version and sha prefix
 
 All commands accept ``--scale {small,tiny}``, ``--horizon N`` and
 ``--seed N``; runs are deterministic per seed.  Execution goes through
 the experiment orchestrator: ``--jobs N`` fans uncached runs out over
 N worker processes, ``--store DIR`` persists results on disk keyed by
 request fingerprint (warm reruns skip simulation entirely),
-``--no-cache`` forces recomputation, and ``--seeds N`` replicates the
-comparison over N seeds with mean / 95 % CI reporting.
+``--store-backend {auto,json,sharded,segment}`` picks the on-disk
+layout for new roots (warm roots auto-detect), ``--no-cache`` forces
+recomputation, and ``--seeds N`` replicates the comparison over N
+seeds with mean / 95 % CI reporting.  Sweeps stream ``completed/total``
+run counts to stderr as workers finish (``--progress`` forces it on,
+``--no-progress`` off; the default follows whether stderr is a TTY).
 
 Workload selection: ``--pack NAME`` runs a registered trace pack (see
 ``packs``) and ``--pack-csv PATH`` builds a recorded pack from a
@@ -31,7 +37,9 @@ warm ``--store`` exactly like synthetic ones.
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
+import sys
 
 import numpy as np
 
@@ -58,6 +66,15 @@ from repro.experiments.scenarios import format_outcomes, run_scenarios
 from repro.reporting import bar_chart, histogram, series_panel
 from repro.sim.config import ExperimentConfig, paper_config, scaled_config
 from repro.sim.metrics import format_comparison, format_replicated_comparison
+from repro.store import (
+    KNOWN_FORMATS,
+    STORE_ENV_VAR,
+    SegmentBackend,
+    collect_garbage,
+    list_documents,
+    migrate_store,
+    open_backend,
+)
 from repro.workload.packs import TracePack, available_packs, get_pack
 
 
@@ -71,17 +88,44 @@ def _config_from(args: argparse.Namespace) -> ExperimentConfig:
     return config
 
 
+def _progress_printer():
+    """A ``(done, total)`` callback streaming run counts to stderr."""
+
+    def report(done: int, total: int) -> None:
+        end = "\n" if done >= total else ""
+        print(
+            f"\r  [{done}/{total}] runs complete",
+            end=end,
+            file=sys.stderr,
+            flush=True,
+        )
+
+    return report
+
+
 def _orchestrator_from(args: argparse.Namespace) -> Orchestrator:
     """Build the execution backend the command's flags describe."""
-    if args.store:
-        root = pathlib.Path(args.store)
-        if root.exists() and not root.is_dir():
-            raise SystemExit(f"error: --store {args.store!r} is not a directory")
-        store = ResultStore(root)
+    root = args.store or os.environ.get(STORE_ENV_VAR)
+    if root:
+        path = pathlib.Path(root)
+        if path.exists() and not path.is_dir():
+            raise SystemExit(f"error: store root {root!r} is not a directory")
+        try:
+            # An explicit --store-backend applies whether the root came
+            # from the flag or from $REPRO_RESULT_STORE.
+            store = ResultStore(path, backend=args.store_backend)
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from None
     else:
-        store = ResultStore.from_environment()
+        store = ResultStore()
+    show_progress = (
+        args.progress if args.progress is not None else sys.stderr.isatty()
+    )
     return Orchestrator(
-        store=store, jobs=args.jobs, use_store=not args.no_cache
+        store=store,
+        jobs=args.jobs,
+        use_store=not args.no_cache,
+        progress=_progress_printer() if show_progress else None,
     )
 
 
@@ -285,6 +329,112 @@ def cmd_packs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_backend_from(args: argparse.Namespace):
+    """Open the backend the ``repro store`` flags point at."""
+    root = args.store or os.environ.get(STORE_ENV_VAR)
+    if not root:
+        raise SystemExit(
+            "error: no store root (pass --store DIR or set "
+            f"${STORE_ENV_VAR})"
+        )
+    path = pathlib.Path(root)
+    if not path.is_dir():
+        raise SystemExit(f"error: store root {root!r} is not a directory")
+    try:
+        return open_backend(path, args.store_backend)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
+
+
+def _store_filters(args: argparse.Namespace) -> dict:
+    return {
+        "pack": args.pack,
+        "pack_version": args.pack_version,
+        "sha": args.sha,
+        "fingerprint": args.fingerprint,
+    }
+
+
+def cmd_store_ls(args: argparse.Namespace) -> int:
+    """List store documents (filtered by pack name/version/sha)."""
+    backend = _store_backend_from(args)
+    rows = list_documents(backend, **_store_filters(args))
+    print(
+        f"{'fingerprint':<14} {'policy':<12} {'pack':<22} {'ver':>3}  "
+        f"{'pack sha256':<14} shard"
+    )
+    for info in rows:
+        print(
+            f"{info.fingerprint[:12]:<14} {info.policy or '-':<12} "
+            f"{info.pack_name or '-':<22} "
+            f"{info.pack_version if info.pack_version is not None else '-':>3}  "
+            f"{(info.pack_sha256 or '-')[:12]:<14} {info.shard or '-'}"
+        )
+    print(f"{len(rows)} document(s) [{backend.format} backend]")
+    return 0
+
+
+def cmd_store_gc(args: argparse.Namespace) -> int:
+    """Garbage-collect store documents matching the filters."""
+    filters = _store_filters(args)
+    if not args.all and not any(v is not None for v in filters.values()):
+        raise SystemExit(
+            "error: refusing to gc everything; pass a filter "
+            "(--pack/--pack-version/--sha/--fingerprint) or --all"
+        )
+    backend = _store_backend_from(args)
+    doomed = collect_garbage(backend, dry_run=args.dry_run, **filters)
+    verb = "would delete" if args.dry_run else "deleted"
+    print(f"{verb} {len(doomed)} document(s)")
+    return 0
+
+
+def cmd_store_migrate(args: argparse.Namespace) -> int:
+    """Convert a store root into another backend layout."""
+    root = args.store or os.environ.get(STORE_ENV_VAR)
+    if not root:
+        raise SystemExit(
+            "error: no source store root (pass --store DIR or set "
+            f"${STORE_ENV_VAR})"
+        )
+    if not pathlib.Path(root).is_dir():
+        raise SystemExit(f"error: store root {root!r} is not a directory")
+    try:
+        report = migrate_store(
+            root, args.dest, to=args.to, source_backend=args.store_backend
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
+    print(
+        f"migrated {report.migrated} document(s) to {args.to} backend "
+        f"at {args.dest}"
+    )
+    if not report.verified:
+        print(
+            f"error: {len(report.mismatched)} document(s) did not "
+            "round-trip bit-identically:",
+            file=sys.stderr,
+        )
+        for fingerprint in report.mismatched[:10]:
+            print(f"  {fingerprint}", file=sys.stderr)
+        return 1
+    print("verified: every document round-tripped bit-identically")
+    return 0
+
+
+def cmd_store_compact(args: argparse.Namespace) -> int:
+    """Compact a segment store (reclaim tombstoned/duplicate records)."""
+    backend = _store_backend_from(args)
+    if not isinstance(backend, SegmentBackend):
+        raise SystemExit(
+            f"error: compact applies to segment stores; this root holds "
+            f"a {backend.format!r} store"
+        )
+    kept = backend.compact()
+    print(f"compacted to {kept} live document(s)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro argument parser with all subcommands."""
     parser = argparse.ArgumentParser(
@@ -325,6 +475,19 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="DIR",
             help="persistent result-store root (default: $REPRO_RESULT_STORE)",
+        )
+        sub.add_argument(
+            "--store-backend",
+            default="auto",
+            choices=("auto", *KNOWN_FORMATS),
+            help="store layout for new roots (warm roots auto-detect)",
+        )
+        sub.add_argument(
+            "--progress",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help="stream completed/total run counts to stderr "
+            "(default: on when stderr is a TTY)",
         )
         sub.add_argument(
             "--pack",
@@ -384,6 +547,83 @@ def build_parser() -> argparse.ArgumentParser:
         "packs", help="list registered workload trace packs"
     )
     packs.set_defaults(func=cmd_packs)
+
+    store = subparsers.add_parser(
+        "store", help="result-store maintenance (ls/gc/migrate/compact)"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    def add_store_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store",
+            default=None,
+            metavar="DIR",
+            help="store root (default: $REPRO_RESULT_STORE)",
+        )
+        sub.add_argument(
+            "--store-backend",
+            default="auto",
+            choices=("auto", *KNOWN_FORMATS),
+            help="backend layout (default: auto-detect)",
+        )
+
+    def add_store_filters(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--pack", default=None, metavar="NAME",
+            help="match documents whose workload pack has this name",
+        )
+        sub.add_argument(
+            "--pack-version", type=int, default=None, metavar="N",
+            help="match documents with this pack version",
+        )
+        sub.add_argument(
+            "--sha", default=None, metavar="PREFIX",
+            help="match documents whose pack content sha256 starts with this",
+        )
+        sub.add_argument(
+            "--fingerprint", default=None, metavar="PREFIX",
+            help="match documents whose run fingerprint starts with this",
+        )
+
+    store_ls = store_sub.add_parser("ls", help="list store documents")
+    add_store_common(store_ls)
+    add_store_filters(store_ls)
+    store_ls.set_defaults(func=cmd_store_ls)
+
+    store_gc = store_sub.add_parser(
+        "gc", help="garbage-collect store documents"
+    )
+    add_store_common(store_gc)
+    add_store_filters(store_gc)
+    store_gc.add_argument(
+        "--all", action="store_true",
+        help="allow collecting with no filters (deletes everything)",
+    )
+    store_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be deleted without deleting",
+    )
+    store_gc.set_defaults(func=cmd_store_gc)
+
+    store_migrate = store_sub.add_parser(
+        "migrate", help="convert a store root to another backend layout"
+    )
+    add_store_common(store_migrate)
+    store_migrate.add_argument(
+        "--dest", required=True, metavar="DIR",
+        help="destination store root (created if missing)",
+    )
+    store_migrate.add_argument(
+        "--to", default="segment", choices=KNOWN_FORMATS,
+        help="destination backend layout (default: segment)",
+    )
+    store_migrate.set_defaults(func=cmd_store_migrate)
+
+    store_compact = store_sub.add_parser(
+        "compact", help="compact a segment store"
+    )
+    add_store_common(store_compact)
+    store_compact.set_defaults(func=cmd_store_compact)
 
     return parser
 

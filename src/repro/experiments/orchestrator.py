@@ -1,4 +1,4 @@
-"""Parallel experiment orchestration with a persistent result store.
+"""Parallel experiment orchestration over a pluggable result store.
 
 Every deliverable of the reproduction -- the figure comparisons, the
 alpha Pareto sweep, the sensitivity sweeps, the LP bound and the
@@ -10,29 +10,22 @@ policy x seed)* simulation runs.  This module owns that evaluation:
   seed override and the :class:`EngineOptions` flags.  Its
   :meth:`~RunRequest.fingerprint` is a SHA-256 over the canonicalized
   request, the unit of caching.
-* :class:`ResultStore` maps fingerprints to
-  :class:`~repro.sim.results.RunResult`, in memory and (optionally) on
-  disk, replacing the old process-local ``_CACHE`` dict of
-  ``experiments/runner.py``.
-* :class:`Orchestrator` resolves batches of requests against the store
-  and fans the misses out over a ``ProcessPoolExecutor``.  Runs are
-  deterministic per request, so parallel and serial execution produce
-  identical :class:`~repro.sim.results.RunResult` ledgers.
-
-Result-store layout
--------------------
-
-A disk-backed store rooted at ``root`` holds one JSON document per
-run::
-
-    root/v1/<fp[:2]>/<fingerprint>.json
-
-``v1`` is :data:`STORE_VERSION`; bumping it (because the engine's
-numerics or the serialization schema changed) orphans every old entry
-at once.  Each document records the store version, the full request
-descriptor (for audit/debugging) and the serialized result.  Floats
-survive the JSON round trip bit-for-bit (shortest-repr doubles), so a
-warm store reproduces a cold run exactly.
+* :class:`~repro.store.ResultStore` (in :mod:`repro.store`) maps
+  fingerprints to :class:`~repro.sim.results.RunResult` -- a memory
+  layer plus one of three persistent backends (per-file JSON, sharded
+  multi-root, append-only segments); see that package and DESIGN.md
+  for layouts, auto-detection and concurrency discipline.
+* :class:`Orchestrator` resolves requests against the store and fans
+  misses out over a persistent ``ProcessPoolExecutor``.  The primitive
+  is :meth:`Orchestrator.submit`, which returns a :class:`RunFuture`;
+  :meth:`Orchestrator.as_resolved` streams artifacts back in
+  *completion* order, so callers can render progress and chain
+  dependent analyses (LP bounds, report rows) while later misses are
+  still simulating.  :meth:`Orchestrator.run_many` is a thin
+  submit-all/await-all wrapper that preserves request order.  Runs are
+  deterministic per request, so parallel, streamed and serial
+  execution produce identical :class:`~repro.sim.results.RunResult`
+  ledgers.
 
 Cache-invalidation (fingerprint) rules
 --------------------------------------
@@ -52,10 +45,13 @@ The fingerprint hashes the *complete* canonicalized request:
   digest covers the raw utilization matrix; the pack *name* is a label
   and deliberately stays out), so recorded-workload runs cache exactly
   like synthetic ones and renames stay cache-compatible;
-* :data:`STORE_VERSION`.
+* :data:`~repro.store.STORE_VERSION`.
 
 Anything that could change a run's numbers therefore changes its key;
-entries never need explicit invalidation, only garbage collection.
+entries never need explicit invalidation, only garbage collection
+(``repro store gc``).  Store-side labels that must *not* key runs --
+the shard routing key, the pack's display name -- travel in the
+document's ``meta`` envelope instead (:func:`run_meta`).
 """
 
 from __future__ import annotations
@@ -64,26 +60,39 @@ import dataclasses
 import enum
 import hashlib
 import json
-import os
-import pathlib
-import tempfile
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.sim.config import ExperimentConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.results import RunResult
 from repro.sim.state import PlacementPolicy
+from repro.store import (
+    STORE_ENV_VAR,
+    STORE_VERSION,
+    ResultStore,
+    shard_slug,
+)
 from repro.workload.packs import TracePack
 
-#: Version of the on-disk schema *and* of the engine numerics contract.
-#: Bump on any change that alters stored bytes or simulated numbers.
-STORE_VERSION = 1
-
-#: Environment variable naming a default on-disk store root.
-STORE_ENV_VAR = "REPRO_RESULT_STORE"
+__all__ = [
+    "EngineOptions",
+    "Orchestrator",
+    "ResultStore",
+    "RunArtifact",
+    "RunFuture",
+    "RunRequest",
+    "STORE_ENV_VAR",
+    "STORE_VERSION",
+    "canonical",
+    "execute_request",
+    "grid_requests",
+    "run_meta",
+]
 
 
 @dataclass(frozen=True)
@@ -203,6 +212,31 @@ class RunRequest:
         return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def run_meta(request: RunRequest) -> dict:
+    """Store-side labels for a request (never part of the fingerprint).
+
+    The ``shard`` key routes the document in a sharded backend -- the
+    workload pack's name when the run has one, else the config name --
+    and the pack block records the *name* alongside the content
+    identity so ``repro store ls``/``gc`` can filter by pack name even
+    though fingerprints deliberately ignore it.
+    """
+    pack = request.pack
+    if pack is not None:
+        shard = shard_slug(pack.name)
+    else:
+        shard = shard_slug(getattr(request.config, "name", None))
+    meta: dict = {"shard": shard}
+    if pack is not None:
+        meta["pack"] = {
+            "name": pack.name,
+            "version": pack.version,
+            "kind": pack.kind,
+            "sha256": pack.sha256,
+        }
+    return meta
+
+
 @dataclass(frozen=True)
 class RunArtifact:
     """A resolved request: the result plus its provenance.
@@ -231,118 +265,43 @@ class RunArtifact:
         return self.source != "computed"
 
 
-class ResultStore:
-    """Fingerprint-keyed result storage: memory layer + optional disk.
+class RunFuture:
+    """Handle to one submitted request, resolving to a :class:`RunArtifact`.
 
-    Parameters
-    ----------
-    root:
-        Directory for the persistent layer (created lazily).  ``None``
-        keeps results in memory only -- the replacement for the old
-        process-local cache.  See the module docstring for the on-disk
-        layout and invalidation rules.
+    Store hits resolve immediately; misses resolve when their worker
+    finishes (by which point the result has already streamed into the
+    store -- persistence callbacks run before the future completes, so
+    an artifact you hold is an artifact that survives a crash).
     """
 
-    def __init__(self, root: str | os.PathLike | None = None) -> None:
-        self.root = pathlib.Path(root) if root is not None else None
-        self._memory: dict[str, RunResult] = {}
-        self.hits_memory = 0
-        self.hits_disk = 0
-        self.misses = 0
-        self.writes = 0
+    __slots__ = ("request", "fingerprint", "_future")
+
+    def __init__(
+        self, request: RunRequest, fingerprint: str, future: Future
+    ) -> None:
+        self.request = request
+        self.fingerprint = fingerprint
+        self._future = future
+
+    def done(self) -> bool:
+        """True when the artifact (or an error) is available."""
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> RunArtifact:
+        """Block for the artifact; re-raises the run's error if it failed."""
+        return self._future.result(timeout)
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The run's error, or None (blocks like :meth:`result`)."""
+        return self._future.exception(timeout)
 
     @classmethod
-    def from_environment(cls) -> "ResultStore":
-        """Store rooted at ``$REPRO_RESULT_STORE`` (memory-only if unset)."""
-        return cls(os.environ.get(STORE_ENV_VAR) or None)
-
-    def path_for(self, fingerprint: str) -> pathlib.Path | None:
-        """On-disk document path for a fingerprint (None if memory-only)."""
-        if self.root is None:
-            return None
-        return (
-            self.root
-            / f"v{STORE_VERSION}"
-            / fingerprint[:2]
-            / f"{fingerprint}.json"
-        )
-
-    def fetch(self, fingerprint: str) -> tuple[RunResult, str] | None:
-        """Look a fingerprint up; returns ``(result, source)`` or None."""
-        cached = self._memory.get(fingerprint)
-        if cached is not None:
-            self.hits_memory += 1
-            return cached, "memory"
-        path = self.path_for(fingerprint)
-        if path is not None and path.exists():
-            try:
-                payload = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
-                payload = None
-            if (
-                payload is not None
-                and payload.get("store_version") == STORE_VERSION
-                and payload.get("fingerprint") == fingerprint
-            ):
-                result = RunResult.from_dict(payload["result"])
-                self._memory[fingerprint] = result
-                self.hits_disk += 1
-                return result, "disk"
-        self.misses += 1
-        return None
-
-    def put(
-        self, fingerprint: str, result: RunResult, descriptor: dict | None = None
-    ) -> None:
-        """Record a result in memory and (when disk-backed) on disk.
-
-        The disk write is atomic (temp file + rename) so a crashed run
-        never leaves a truncated document behind.
-        """
-        self._memory[fingerprint] = result
-        self.writes += 1
-        path = self.path_for(fingerprint)
-        if path is None:
-            return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        document = {
-            "store_version": STORE_VERSION,
-            "fingerprint": fingerprint,
-            "request": descriptor or {},
-            "result": result.to_dict(),
-        }
-        handle = tempfile.NamedTemporaryFile(
-            "w", dir=path.parent, suffix=".tmp", delete=False
-        )
-        try:
-            with handle:
-                json.dump(document, handle)
-            os.replace(handle.name, path)
-        except BaseException:
-            os.unlink(handle.name)
-            raise
-
-    def clear_memory(self) -> None:
-        """Drop the in-memory layer (disk documents survive)."""
-        self._memory.clear()
-
-    def stats(self) -> dict[str, int]:
-        """Hit/miss/write counters (for benchmarks and logs)."""
-        return {
-            "hits_memory": self.hits_memory,
-            "hits_disk": self.hits_disk,
-            "misses": self.misses,
-            "writes": self.writes,
-        }
-
-    def __contains__(self, fingerprint: str) -> bool:
-        path = self.path_for(fingerprint)
-        return fingerprint in self._memory or (
-            path is not None and path.exists()
-        )
-
-    def __len__(self) -> int:
-        return len(self._memory)
+    def resolved(
+        cls, request: RunRequest, fingerprint: str, artifact: RunArtifact
+    ) -> "RunFuture":
+        future: Future = Future()
+        future.set_result(artifact)
+        return cls(request, fingerprint, future)
 
 
 def execute_request(request: RunRequest) -> RunResult:
@@ -364,6 +323,10 @@ def _timed_execute(request: RunRequest) -> tuple[RunResult, float]:
     return result, time.perf_counter() - start
 
 
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    pool.shutdown(wait=False)
+
+
 class Orchestrator:
     """Resolves run requests against a store, fanning misses out.
 
@@ -374,15 +337,21 @@ class Orchestrator:
         Defaults to a fresh memory-only store.
     jobs:
         Worker processes for cache misses.  ``1`` executes serially in
-        this process; higher values use a ``ProcessPoolExecutor``.
-        Parallel runs are deterministic: every engine derives its
-        streams from the request, so results are identical to serial
-        execution.
+        this process (``submit`` then blocks and returns an
+        already-resolved future); higher values keep a persistent
+        ``ProcessPoolExecutor`` so submissions stream.  Parallel runs
+        are deterministic: every engine derives its streams from the
+        request, so results are identical to serial execution.
     use_store:
-        Default store behavior for :meth:`run_many`.  ``False`` makes
-        every resolution simulate (results are still recorded) --
-        consumers that only take an orchestrator, like the CLI's
-        ``--no-cache`` path, configure cache bypass here.
+        Default store behavior.  ``False`` makes every resolution
+        simulate (results are still recorded) -- consumers that only
+        take an orchestrator, like the CLI's ``--no-cache`` path,
+        configure cache bypass here.
+    progress:
+        Optional ``callback(completed, total)`` fired as each unique
+        run of a batch resolves (:meth:`run_many` /
+        :meth:`as_resolved`); the CLI uses it to stream run counts
+        during sweeps.
     """
 
     def __init__(
@@ -390,10 +359,15 @@ class Orchestrator:
         store: ResultStore | None = None,
         jobs: int = 1,
         use_store: bool = True,
+        progress: Callable[[int, int], None] | None = None,
     ) -> None:
         self.store = store if store is not None else ResultStore()
         self.jobs = max(1, int(jobs))
         self.use_store = use_store
+        self.progress = progress
+        self._pool: ProcessPoolExecutor | None = None
+        self._inflight: dict[str, Future] = {}
+        self._lock = threading.Lock()
 
     def with_jobs(self, jobs: int) -> "Orchestrator":
         """This orchestrator's store and options at a new worker count.
@@ -405,97 +379,234 @@ class Orchestrator:
         if jobs == self.jobs:
             return self
         return Orchestrator(
-            store=self.store, jobs=jobs, use_store=self.use_store
+            store=self.store,
+            jobs=jobs,
+            use_store=self.use_store,
+            progress=self.progress,
         )
+
+    # -- worker-pool lifecycle ---------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            # Workers outlive batches (submissions stream), but must
+            # not outlive the orchestrator.
+            weakref.finalize(self, _shutdown_pool, self._pool)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; pending runs finish)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "Orchestrator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the futures API ---------------------------------------------------
+
+    def submit(
+        self, request: RunRequest, use_store: bool | None = None
+    ) -> RunFuture:
+        """Resolve one request asynchronously.
+
+        Store hits return an already-resolved future.  Misses are
+        deduplicated against in-flight work (two submissions of one
+        fingerprint share a worker) and their results stream into the
+        store the moment the worker finishes -- before the future is
+        marked done.  With ``jobs == 1`` the miss executes inline and
+        errors propagate from ``submit`` itself, preserving the serial
+        fail-fast behavior.
+        """
+        if use_store is None:
+            use_store = self.use_store
+        fingerprint = request.fingerprint()
+        if use_store:
+            hit = self.store.fetch(fingerprint)
+            if hit is not None:
+                result, source = hit
+                return RunFuture.resolved(
+                    request,
+                    fingerprint,
+                    RunArtifact(
+                        fingerprint=fingerprint,
+                        result=result,
+                        source=source,
+                        elapsed_s=0.0,
+                    ),
+                )
+        if self.jobs == 1:
+            result, elapsed = _timed_execute(request)
+            self.store.put(
+                fingerprint, result, request.descriptor(), run_meta(request)
+            )
+            return RunFuture.resolved(
+                request,
+                fingerprint,
+                RunArtifact(
+                    fingerprint=fingerprint,
+                    result=result,
+                    source="computed",
+                    elapsed_s=elapsed,
+                ),
+            )
+        with self._lock:
+            base = self._inflight.get(fingerprint)
+            created = base is None
+            if created:
+                base = self._ensure_pool().submit(_timed_execute, request)
+                self._inflight[fingerprint] = base
+        # Callbacks are registered *outside* the lock: a future that is
+        # already done runs its callback inline in this thread, and
+        # _record re-acquires the (non-reentrant) lock.  Persistence
+        # (_record) registers before the wrapper chain, so in both the
+        # executor-thread and inline cases the store.put completes
+        # before the wrapper future reports done.
+        if created:
+            base.add_done_callback(
+                lambda done, fp=fingerprint, req=request: self._record(
+                    fp, req, done
+                )
+            )
+        wrapper: Future = Future()
+
+        def _chain(done: Future) -> None:
+            error = done.exception()
+            if error is not None:
+                wrapper.set_exception(error)
+                return
+            result, elapsed = done.result()
+            wrapper.set_result(
+                RunArtifact(
+                    fingerprint=fingerprint,
+                    result=result,
+                    source="computed",
+                    elapsed_s=elapsed,
+                )
+            )
+
+        base.add_done_callback(_chain)
+        return RunFuture(request, fingerprint, wrapper)
+
+    def _record(self, fingerprint: str, request: RunRequest, base: Future) -> None:
+        """Completion callback: stream the result into the store.
+
+        Runs in the executor's management thread, so a batch that dies
+        partway (worker crash, interrupt) keeps every completed run.
+        The store write happens *before* the in-flight entry is
+        dropped -- a resubmission of the same fingerprint either
+        shares the in-flight future or hits the store, never
+        re-simulates.
+        """
+        if base.exception() is None:
+            result, _ = base.result()
+            self.store.put(
+                fingerprint, result, request.descriptor(), run_meta(request)
+            )
+        with self._lock:
+            self._inflight.pop(fingerprint, None)
+
+    def submit_many(
+        self, requests: Sequence[RunRequest], use_store: bool | None = None
+    ) -> list[RunFuture]:
+        """Submit a batch; duplicates share one future (simulated once)."""
+        futures: list[RunFuture] = []
+        by_fingerprint: dict[str, RunFuture] = {}
+        for request in requests:
+            fingerprint = request.fingerprint()
+            future = by_fingerprint.get(fingerprint)
+            if future is None:
+                future = self.submit(request, use_store=use_store)
+                by_fingerprint[fingerprint] = future
+            futures.append(future)
+        return futures
+
+    def _notify(self, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(done, total)
+
+    @staticmethod
+    def _unique(futures: Iterable[RunFuture]) -> list[RunFuture]:
+        return list(dict.fromkeys(futures))
+
+    def as_done(
+        self, futures: Iterable[RunFuture], timeout: float | None = None
+    ) -> Iterator[RunFuture]:
+        """Yield unique futures as they resolve, firing progress.
+
+        Already-resolved futures (store hits, serial runs) come first;
+        pending misses follow in completion order.  The shared loop
+        behind :meth:`as_resolved` and :meth:`run_many` (which differ
+        only in error handling) -- and the primitive for consumers
+        that chain per-run analyses and need the *future* (its
+        ``request``, or its position in a batch) rather than just the
+        artifact.
+        """
+        unique = self._unique(futures)
+        total = len(unique)
+        done = 0
+        pending: dict[Future, RunFuture] = {}
+        for future in unique:
+            if future.done():
+                done += 1
+                self._notify(done, total)
+                yield future
+            else:
+                pending[future._future] = future
+        for resolved in as_completed(pending, timeout=timeout):
+            done += 1
+            self._notify(done, total)
+            yield pending[resolved]
+
+    def as_resolved(
+        self, futures: Iterable[RunFuture], timeout: float | None = None
+    ) -> Iterator[RunArtifact]:
+        """Yield artifacts in *completion* order as workers finish.
+
+        Already-resolved futures (store hits, serial runs) come first;
+        pending misses follow as they land, while later misses keep
+        executing -- the streaming primitive behind CLI progress and
+        barrier-free dependent analyses.  Duplicate futures yield
+        once.  A failed run raises at its position in the stream.
+        """
+        for future in self.as_done(futures, timeout=timeout):
+            yield future.result()
+
+    # -- batch conveniences ------------------------------------------------
 
     def run(
         self, request: RunRequest, use_store: bool | None = None
     ) -> RunArtifact:
         """Resolve one request (store lookup, else simulate + record)."""
-        return self.run_many([request], use_store=use_store)[0]
+        return self.submit(request, use_store=use_store).result()
 
     def run_many(
         self, requests: Sequence[RunRequest], use_store: bool | None = None
     ) -> list[RunArtifact]:
         """Resolve a batch of requests, preserving order.
 
-        Duplicate fingerprints within the batch are simulated once.
-        Misses run in parallel when ``jobs > 1``; results stream into
-        the store as they complete.  ``use_store=False`` skips the
-        lookup (every request simulates) but still records results;
-        ``None`` defers to the orchestrator's default.
+        A thin wrapper over :meth:`submit_many`: duplicate
+        fingerprints simulate once, misses run in parallel when
+        ``jobs > 1`` and stream into the store as they complete.  When
+        a run fails, every surviving completion is still persisted
+        (and counted toward progress) before the first error
+        re-raises.  ``use_store=False`` skips the lookup (every
+        request simulates) but still records results; ``None`` defers
+        to the orchestrator's default.
         """
-        if use_store is None:
-            use_store = self.use_store
-        fingerprints = [request.fingerprint() for request in requests]
-        artifacts: list[RunArtifact | None] = [None] * len(requests)
-        pending: dict[str, RunRequest] = {}
-        for index, (request, fingerprint) in enumerate(
-            zip(requests, fingerprints)
-        ):
-            hit = self.store.fetch(fingerprint) if use_store else None
-            if hit is not None:
-                result, source = hit
-                artifacts[index] = RunArtifact(
-                    fingerprint=fingerprint,
-                    result=result,
-                    source=source,
-                    elapsed_s=0.0,
-                )
-            elif fingerprint not in pending:
-                pending[fingerprint] = request
-
-        computed = self._execute_pending(pending)
-        for index, fingerprint in enumerate(fingerprints):
-            if artifacts[index] is None:
-                result, elapsed = computed[fingerprint]
-                artifacts[index] = RunArtifact(
-                    fingerprint=fingerprint,
-                    result=result,
-                    source="computed",
-                    elapsed_s=elapsed,
-                )
-        return artifacts  # type: ignore[return-value]
-
-    def _execute_pending(
-        self, pending: dict[str, RunRequest]
-    ) -> dict[str, tuple[RunResult, float]]:
-        """Simulate every pending request, recording each on completion.
-
-        Results stream into the store as workers finish, so a batch
-        that dies partway (a worker crash, an interrupt) keeps every
-        completed run; the first failure re-raises only after all
-        surviving completions are persisted.
-        """
-        computed: dict[str, tuple[RunResult, float]] = {}
-        if not pending:
-            return computed
-        items = list(pending.items())
-        if self.jobs == 1 or len(items) == 1:
-            for fingerprint, request in items:
-                start = time.perf_counter()
-                result = execute_request(request)
-                computed[fingerprint] = (result, time.perf_counter() - start)
-                self.store.put(fingerprint, result, request.descriptor())
-            return computed
+        futures = self.submit_many(requests, use_store=use_store)
         first_error: BaseException | None = None
-        with ProcessPoolExecutor(max_workers=min(self.jobs, len(items))) as pool:
-            futures = {
-                pool.submit(_timed_execute, request): (fingerprint, request)
-                for fingerprint, request in items
-            }
-            for future in as_completed(futures):
-                fingerprint, request = futures[future]
-                try:
-                    result, elapsed = future.result()
-                except BaseException as error:  # persist survivors first
-                    first_error = first_error or error
-                    continue
-                computed[fingerprint] = (result, elapsed)
-                self.store.put(fingerprint, result, request.descriptor())
+        for future in self.as_done(futures):
+            error = future.exception()
+            if error is not None:
+                first_error = first_error or error
         if first_error is not None:
             raise first_error
-        return computed
+        return [future.result() for future in futures]
 
 
 def grid_requests(

@@ -5,11 +5,13 @@ four methods, so every consumer funnels through :func:`run_comparison`.
 Execution and caching live in
 :mod:`repro.experiments.orchestrator`: each (config, policy, seed) run
 is fingerprinted and resolved against a :class:`ResultStore` -- an
-in-memory layer by default, plus a persistent on-disk layer when a
-store root is configured (``REPRO_RESULT_STORE`` or an explicit
-orchestrator) -- and cache misses fan out over worker processes when
-``jobs > 1``.  Parallel and cached runs are bit-identical to serial
-cold runs.
+in-memory layer by default, plus one of the pluggable persistent
+backends in :mod:`repro.store` when a store root is configured
+(``REPRO_RESULT_STORE`` or an explicit orchestrator) -- and cache
+misses fan out over worker processes when ``jobs > 1``.  The
+comparison itself goes through ``run_many`` (the submit-all/await-all
+wrapper over the futures API), so parallel, streamed and cached runs
+are bit-identical to serial cold runs.
 
 :func:`run_replicated_comparison` repeats the comparison over several
 seeds for mean/CI reporting

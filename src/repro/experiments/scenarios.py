@@ -111,6 +111,9 @@ def run_scenarios(
             RunRequest(config=config, policy=policy, pack=run_pack)
             for policy in default_policies(alpha)
         )
+    # The whole (scenario x policy) grid resolves as one futures batch
+    # (progress streams per completion); artifacts come back in
+    # request order, so each scenario's slice is positional.
     artifacts = orchestrator.run_many(requests)
     n_policies = len(default_policies(alpha))
     outcomes = []

@@ -1,0 +1,148 @@
+"""Store maintenance: listing, garbage collection and migration.
+
+These helpers power the ``repro store`` CLI subcommand.  They operate
+on raw backends (not :class:`~repro.store.core.ResultStore`), so they
+see documents exactly as persisted.
+
+Filtering model
+---------------
+
+Documents are labeled two ways:
+
+* the *request descriptor* (hashed into the fingerprint) carries the
+  pack's content identity -- schema, version, kind, sha256 -- for any
+  run that named a workload pack;
+* the optional *meta* envelope (written since the backend split,
+  never hashed) additionally carries the pack *name* and the shard
+  key.
+
+``ls``/``gc`` filters therefore match pack versions and sha prefixes
+on every document, while pack-*name* filters only match documents new
+enough to carry meta (older documents deliberately keyed renames
+identically, so their names are unknowable).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+from repro.store.base import StoreBackend
+from repro.store.core import open_backend
+
+
+@dataclass(frozen=True)
+class DocumentInfo:
+    """One store document's identity labels, for listing/filtering."""
+
+    fingerprint: str
+    policy: str | None
+    pack_name: str | None
+    pack_version: int | None
+    pack_sha256: str | None
+    shard: str | None
+
+    @classmethod
+    def from_document(cls, fingerprint: str, document: dict) -> "DocumentInfo":
+        request = document.get("request") or {}
+        meta = document.get("meta") or {}
+        pack = request.get("pack") or {}
+        meta_pack = meta.get("pack") or {}
+        policy = (request.get("policy") or {}).get("name")
+        return cls(
+            fingerprint=fingerprint,
+            policy=policy,
+            pack_name=meta_pack.get("name"),
+            pack_version=pack.get("version", meta_pack.get("version")),
+            pack_sha256=pack.get("sha256", meta_pack.get("sha256")),
+            shard=meta.get("shard"),
+        )
+
+
+def matches(
+    info: DocumentInfo,
+    pack: str | None = None,
+    pack_version: int | None = None,
+    sha: str | None = None,
+    fingerprint: str | None = None,
+) -> bool:
+    """Whether a document matches every given filter (AND semantics)."""
+    if pack is not None and info.pack_name != pack:
+        return False
+    if pack_version is not None and info.pack_version != pack_version:
+        return False
+    if sha is not None and not (
+        info.pack_sha256 or ""
+    ).startswith(sha):
+        return False
+    if fingerprint is not None and not info.fingerprint.startswith(
+        fingerprint
+    ):
+        return False
+    return True
+
+
+def list_documents(backend: StoreBackend, **filters) -> list[DocumentInfo]:
+    """Every document in ``backend`` matching the filters."""
+    rows = []
+    for fingerprint, document in backend.scan():
+        info = DocumentInfo.from_document(fingerprint, document)
+        if matches(info, **filters):
+            rows.append(info)
+    return rows
+
+
+def collect_garbage(
+    backend: StoreBackend, dry_run: bool = False, **filters
+) -> list[str]:
+    """Delete (or, with ``dry_run``, just report) matching documents."""
+    doomed = [info.fingerprint for info in list_documents(backend, **filters)]
+    if not dry_run:
+        for fingerprint in doomed:
+            backend.delete(fingerprint)
+    return doomed
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """Outcome of one store migration."""
+
+    migrated: int
+    mismatched: tuple[str, ...]
+
+    @property
+    def verified(self) -> bool:
+        """True when every document round-tripped bit-identically."""
+        return not self.mismatched
+
+
+def migrate_store(
+    source: pathlib.Path | str,
+    dest: pathlib.Path | str,
+    to: str = "segment",
+    source_backend: str = "auto",
+) -> MigrationReport:
+    """Copy every document from ``source`` into a ``to``-format ``dest``.
+
+    The copy preserves documents verbatim (same JSON trees, same
+    fingerprints, shard hints taken from each document's meta), then
+    re-reads every fingerprint from the destination and compares the
+    canonical JSON serialization -- the bit-identity check behind
+    ``repro store migrate``.
+    """
+    reader = open_backend(source, source_backend)
+    writer = open_backend(dest, to)
+    migrated = 0
+    for fingerprint, document in reader.scan():
+        shard = (document.get("meta") or {}).get("shard")
+        writer.put(fingerprint, document, shard=shard)
+        migrated += 1
+    mismatched = []
+    for fingerprint, document in reader.scan():
+        copied = writer.fetch(fingerprint)
+        if json.dumps(copied, sort_keys=True) != json.dumps(
+            document, sort_keys=True
+        ):
+            mismatched.append(fingerprint)
+    return MigrationReport(migrated=migrated, mismatched=tuple(mismatched))

@@ -1,0 +1,126 @@
+"""Multi-root sharded store: per-file documents fanned out by shard key.
+
+Layout::
+
+    root/STORE_FORMAT.json            # {"format": "sharded", ...}
+    root/shards/<shard>/v1/<fp[:2]>/<fingerprint>.json
+
+Each shard directory is a complete
+:class:`~repro.store.jsonfile.JsonFileBackend` root.  The shard key is
+a *label*, not part of a run's identity: the orchestrator derives it
+from the run's workload-pack name (or, for synthetic runs, the config
+name), so one experiment family's millions of documents never share a
+directory fan-out with another's.  Because the key is only a routing
+hint, fetches by bare fingerprint probe the shards (cheap: shard
+counts are small -- one per pack/config family) and remember where
+each fingerprint was found.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterator
+
+from repro.store.base import shard_slug, write_marker
+from repro.store.jsonfile import JsonFileBackend
+
+#: Shard used when a put carries no routing hint.
+DEFAULT_SHARD = "default"
+
+
+class ShardedBackend:
+    """Per-file JSON documents sharded across multiple roots."""
+
+    format = "sharded"
+
+    def __init__(self, root: pathlib.Path | str) -> None:
+        self.root = pathlib.Path(root)
+        self._shards: dict[str, JsonFileBackend] = {}
+        self._located: dict[str, str] = {}  # fingerprint -> shard name
+
+    def _shard(self, name: str) -> JsonFileBackend:
+        backend = self._shards.get(name)
+        if backend is None:
+            backend = JsonFileBackend(self.root / "shards" / name)
+            self._shards[name] = backend
+        return backend
+
+    def _discover(self) -> dict[str, JsonFileBackend]:
+        """Register every shard directory present on disk."""
+        base = self.root / "shards"
+        if base.is_dir():
+            for entry in sorted(base.iterdir()):
+                if entry.is_dir():
+                    self._shard(entry.name)
+        return self._shards
+
+    def shards(self) -> list[str]:
+        """The shard names present on disk (sorted)."""
+        return sorted(self._discover())
+
+    def path_for(self, fingerprint: str) -> pathlib.Path | None:
+        """The existing document path for a fingerprint, if stored."""
+        shard = self._locate(fingerprint)
+        if shard is None:
+            return None
+        return self._shard(shard).path_for(fingerprint)
+
+    def _locate(self, fingerprint: str) -> str | None:
+        known = self._located.get(fingerprint)
+        if known is not None and fingerprint in self._shard(known):
+            return known
+        for name in sorted(self._discover()):
+            if fingerprint in self._shard(name):
+                self._located[fingerprint] = name
+                return name
+        return None
+
+    def fetch(self, fingerprint: str) -> dict | None:
+        """The document for a fingerprint, probing shards as needed."""
+        shard = self._locate(fingerprint)
+        if shard is None:
+            return None
+        return self._shard(shard).fetch(fingerprint)
+
+    def put(
+        self, fingerprint: str, document: dict, shard: str | None = None
+    ) -> None:
+        """Write one document into the hinted (or default) shard.
+
+        A fingerprint already stored under another shard is
+        overwritten *in place* -- shard keys are routing hints, and a
+        rerun arriving with a different hint (e.g. a renamed pack,
+        which keeps its fingerprint by design) must not duplicate the
+        document across shards.
+        """
+        write_marker(self.root, self.format)
+        name = self._locate(fingerprint)
+        if name is None:
+            name = shard_slug(shard) if shard else DEFAULT_SHARD
+        self._shard(name).put(fingerprint, document)
+        self._located[fingerprint] = name
+
+    def delete(self, fingerprint: str) -> bool:
+        """Delete a document from whichever shard holds it."""
+        shard = self._locate(fingerprint)
+        if shard is None:
+            return False
+        self._located.pop(fingerprint, None)
+        return self._shard(shard).delete(fingerprint)
+
+    def keys(self) -> Iterator[str]:
+        """Every stored fingerprint, shard by shard."""
+        for name in sorted(self._discover()):
+            yield from self._shard(name).keys()
+
+    def scan(self) -> Iterator[tuple[str, dict]]:
+        """Every (fingerprint, document) pair, shard by shard."""
+        for name in sorted(self._discover()):
+            yield from self._shard(name).scan()
+
+    def count(self) -> int:
+        """Number of stored documents across all shards."""
+        return sum(1 for _ in self.keys())
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self._locate(fingerprint) is not None

@@ -46,3 +46,21 @@ class TestSweeps:
         table = format_rows(rows)
         assert "battery_scale" in table
         assert "cost EUR" in table.splitlines()[0]
+
+
+class TestDuplicateSweepPoints:
+    def test_colliding_fingerprints_keep_their_value_labels(self, config):
+        """Sweep points that collapse to one fingerprint (battery
+        scales over a zero-battery fleet -> identical configs) must
+        still come back as one correctly-labeled row per value."""
+        import dataclasses
+
+        specs = tuple(
+            dataclasses.replace(spec, battery_kwh=0.0)
+            for spec in config.specs
+        )
+        zero_battery = dataclasses.replace(config, specs=specs)
+        rows = sweep_battery_scale(zero_battery, scales=(0.0, 0.5, 1.0, 2.0))
+        assert [row.value for row in rows] == [0.0, 0.5, 1.0, 2.0]
+        # One simulation behind all four rows: identical outcomes.
+        assert len({row.cost_eur for row in rows}) == 1

@@ -1,0 +1,86 @@
+"""Store migration: v1 per-file roots convert bit-identically."""
+
+import json
+
+import pytest
+
+from repro.experiments.orchestrator import Orchestrator, RunRequest
+from repro.experiments.runner import default_policies
+from repro.sim.config import scaled_config
+from repro.sim.results import RunResult
+from repro.store import (
+    JsonFileBackend,
+    ResultStore,
+    SegmentBackend,
+    migrate_store,
+    open_backend,
+)
+
+
+def tiny_requests(count: int = 3):
+    config = scaled_config("tiny", seed=0).with_horizon(2)
+    return [
+        RunRequest(config=config, policy=policy)
+        for policy in default_policies()[:count]
+    ]
+
+
+@pytest.fixture(scope="module")
+def v1_root(tmp_path_factory):
+    """A warm per-file store holding real RunResult ledgers."""
+    root = tmp_path_factory.mktemp("v1-store")
+    Orchestrator(store=ResultStore(root)).run_many(tiny_requests())
+    return root
+
+
+class TestMigrateToSegment:
+    def test_round_trip_is_bit_identical(self, v1_root, tmp_path):
+        report = migrate_store(v1_root, tmp_path / "seg", to="segment")
+        assert report.migrated == 3
+        assert report.verified
+        source = JsonFileBackend(v1_root)
+        dest = SegmentBackend(tmp_path / "seg")
+        for fingerprint, document in source.scan():
+            copied = dest.fetch(fingerprint)
+            assert json.dumps(copied, sort_keys=True) == json.dumps(
+                document, sort_keys=True
+            )
+
+    def test_real_ledgers_survive(self, v1_root, tmp_path):
+        migrate_store(v1_root, tmp_path / "seg", to="segment")
+        source = JsonFileBackend(v1_root)
+        dest = SegmentBackend(tmp_path / "seg")
+        for fingerprint, document in source.scan():
+            original = RunResult.from_dict(document["result"])
+            migrated = RunResult.from_dict(dest.fetch(fingerprint)["result"])
+            assert migrated.to_dict() == original.to_dict()
+            assert migrated.slots == original.slots
+            assert migrated.summary() == original.summary()
+
+    def test_migrated_root_serves_warm_runs(self, v1_root, tmp_path):
+        migrate_store(v1_root, tmp_path / "seg", to="segment")
+        # Auto-detection finds the segment layout; every run resolves
+        # from disk without simulating.
+        warm = Orchestrator(store=ResultStore(tmp_path / "seg")).run_many(
+            tiny_requests()
+        )
+        assert [artifact.source for artifact in warm] == ["disk"] * 3
+        cold = Orchestrator(store=ResultStore()).run_many(tiny_requests())
+        for warm_artifact, cold_artifact in zip(warm, cold):
+            assert warm_artifact.result.slots == cold_artifact.result.slots
+
+    def test_migrate_to_sharded_routes_by_meta(self, v1_root, tmp_path):
+        report = migrate_store(v1_root, tmp_path / "sh", to="sharded")
+        assert report.verified
+        backend = open_backend(tmp_path / "sh")
+        assert backend.format == "sharded"
+        # v1 documents carry meta with the config-name shard key.
+        assert backend.shards() == ["tiny"]
+
+    def test_migration_merges_into_existing_dest(self, v1_root, tmp_path):
+        dest = tmp_path / "seg"
+        extra_fp = "ab" * 32
+        SegmentBackend(dest).put(extra_fp, {"fingerprint": extra_fp})
+        report = migrate_store(v1_root, dest, to="segment")
+        assert report.verified
+        assert SegmentBackend(dest).count() == 4

@@ -214,3 +214,198 @@ class TestPackFlags:
         assert main(argv) == 0
         assert invocations == []  # zero engine invocations on the warm run
         assert capsys.readouterr().out == first
+
+
+class TestStoreBackendFlag:
+    def argv(self, store, backend=None):
+        argv = ["compare", "--scale", "tiny", "--horizon", "2",
+                "--store", str(store)]
+        if backend:
+            argv += ["--store-backend", backend]
+        return argv
+
+    def test_segment_backend_cold_then_warm(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        store = tmp_path / "segstore"
+        invocations = []
+        original = SimulationEngine.run
+
+        def counting_run(self):
+            invocations.append(self.policy.name)
+            return original(self)
+
+        monkeypatch.setattr(SimulationEngine, "run", counting_run)
+        assert main(self.argv(store, "segment")) == 0
+        assert len(invocations) == 4
+        assert list(store.glob("segments/*.seg"))
+        first = capsys.readouterr().out
+
+        from repro.experiments.runner import clear_cache
+
+        clear_cache()
+        invocations.clear()
+        # Auto-detection: no --store-backend on the warm run.
+        assert main(self.argv(store)) == 0
+        assert invocations == []
+        assert capsys.readouterr().out == first
+
+    def test_sharded_backend_routes_by_config(self, capsys, tmp_path):
+        store = tmp_path / "shstore"
+        assert main(self.argv(store, "sharded")) == 0
+        assert (store / "shards" / "tiny").is_dir()
+
+    def test_backend_conflict_rejected(self, capsys, tmp_path):
+        store = tmp_path / "plain"
+        assert main(self.argv(store)) == 0  # per-file layout
+        with pytest.raises(SystemExit, match="refusing"):
+            main(self.argv(store, "segment"))
+
+
+class TestProgressFlag:
+    def test_progress_streams_counts_to_stderr(self, capsys):
+        code = main(["compare", "--scale", "tiny", "--horizon", "2",
+                     "--no-cache", "--progress"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "[4/4] runs complete" in captured.err
+        assert "[4/4]" not in captured.out
+
+    def test_no_progress_silences_stderr(self, capsys):
+        code = main(["compare", "--scale", "tiny", "--horizon", "2",
+                     "--no-cache", "--no-progress"])
+        assert code == 0
+        assert "runs complete" not in capsys.readouterr().err
+
+    def test_sweep_streams_progress(self, capsys):
+        code = main(["sweep", "battery", "--scale", "tiny", "--horizon", "2",
+                     "--no-cache", "--progress"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[1/4]" in err
+        assert "[4/4]" in err
+
+
+class TestStoreSubcommand:
+    def warm_store(self, tmp_path, backend="json"):
+        store = tmp_path / "warmstore"
+        argv = ["compare", "--scale", "tiny", "--horizon", "2",
+                "--store", str(store)]
+        if backend != "json":
+            argv += ["--store-backend", backend]
+        assert main(argv) == 0
+        from repro.experiments.runner import clear_cache
+
+        clear_cache()
+        return store
+
+    def test_ls_lists_documents(self, capsys, tmp_path):
+        store = self.warm_store(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "ls", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "4 document(s)" in out
+        assert "Proposed" in out
+        assert "[json backend]" in out
+
+    def test_ls_fingerprint_filter(self, capsys, tmp_path):
+        store = self.warm_store(tmp_path)
+        capsys.readouterr()
+        from repro.store import JsonFileBackend
+
+        fingerprint = next(iter(JsonFileBackend(store).keys()))
+        assert main(["store", "ls", "--store", str(store),
+                     "--fingerprint", fingerprint[:8]]) == 0
+        assert "1 document(s)" in capsys.readouterr().out
+
+    def test_ls_requires_root(self, monkeypatch):
+        monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
+        with pytest.raises(SystemExit, match="no store root"):
+            main(["store", "ls"])
+
+    def test_gc_refuses_without_filters(self, tmp_path):
+        store = self.warm_store(tmp_path)
+        with pytest.raises(SystemExit, match="refusing to gc"):
+            main(["store", "gc", "--store", str(store)])
+
+    def test_gc_dry_run_keeps_documents(self, capsys, tmp_path):
+        store = self.warm_store(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "gc", "--store", str(store),
+                     "--all", "--dry-run"]) == 0
+        assert "would delete 4 document(s)" in capsys.readouterr().out
+        assert len(list(store.rglob("*.json"))) == 4
+
+    def test_gc_all_deletes_documents(self, capsys, tmp_path):
+        store = self.warm_store(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "gc", "--store", str(store), "--all"]) == 0
+        assert "deleted 4 document(s)" in capsys.readouterr().out
+        assert main(["store", "ls", "--store", str(store)]) == 0
+        assert "0 document(s)" in capsys.readouterr().out
+
+    def test_gc_by_pack_name(self, capsys, tmp_path):
+        """Pack-aware GC: collect one recorded pack's runs only."""
+        csv = write_recording(tmp_path)
+        store = tmp_path / "packstore"
+        assert main(["compare", "--scale", "tiny", "--horizon", "2",
+                     "--store", str(store), "--pack-csv", str(csv)]) == 0
+        assert main(["compare", "--scale", "tiny", "--horizon", "2",
+                     "--store", str(store)]) == 0
+        from repro.experiments.runner import clear_cache
+
+        clear_cache()
+        capsys.readouterr()
+        assert main(["store", "gc", "--store", str(store),
+                     "--pack", "recording"]) == 0
+        assert "deleted 4 document(s)" in capsys.readouterr().out
+        assert main(["store", "ls", "--store", str(store)]) == 0
+        assert "4 document(s)" in capsys.readouterr().out  # synthetic runs stay
+
+    def test_migrate_to_segment_and_rerun_warm(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        store = self.warm_store(tmp_path)
+        dest = tmp_path / "migrated"
+        capsys.readouterr()
+        assert main(["store", "migrate", "--store", str(store),
+                     "--dest", str(dest), "--to", "segment"]) == 0
+        out = capsys.readouterr().out
+        assert "migrated 4 document(s)" in out
+        assert "bit-identically" in out
+        invocations = []
+        original = SimulationEngine.run
+
+        def counting_run(self):
+            invocations.append(self.policy.name)
+            return original(self)
+
+        monkeypatch.setattr(SimulationEngine, "run", counting_run)
+        assert main(["compare", "--scale", "tiny", "--horizon", "2",
+                     "--store", str(dest)]) == 0
+        assert invocations == []  # the migrated root serves every run
+
+    def test_compact_segment_store(self, capsys, tmp_path):
+        store = self.warm_store(tmp_path, backend="segment")
+        capsys.readouterr()
+        assert main(["store", "compact", "--store", str(store)]) == 0
+        assert "compacted to 4 live document(s)" in capsys.readouterr().out
+
+    def test_compact_rejects_non_segment(self, tmp_path):
+        store = self.warm_store(tmp_path)
+        with pytest.raises(SystemExit, match="segment stores"):
+            main(["store", "compact", "--store", str(store)])
+
+
+class TestEnvStoreRoot:
+    def test_store_backend_flag_applies_to_env_root(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """--store-backend must not be dropped when the root comes
+        from $REPRO_RESULT_STORE rather than --store."""
+        store = tmp_path / "envstore"
+        store.mkdir()
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(store))
+        assert main(["compare", "--scale", "tiny", "--horizon", "2",
+                     "--store-backend", "segment"]) == 0
+        assert list(store.glob("segments/*.seg"))

@@ -4,7 +4,8 @@
 #   make bench-smoke - tiny-scale benchmark suite: orchestrator fan-out,
 #                      result-store warm hits, store-backend write/read/
 #                      scan (per-file vs sharded vs segment), the
-#                      engine's per-slot hot paths and the
+#                      engine's per-slot hot paths, the fleet-batched
+#                      slot-physics kernel (bench_green) and the
 #                      data-correlation generation (loop vs vectorized)
 #   make bench       - full benchmark harness (slow: one-week comparison)
 
@@ -20,8 +21,8 @@ test:
 bench-smoke:
 	$(PYTEST) -q benchmarks/bench_orchestrator.py \
 		benchmarks/bench_scaling.py benchmarks/bench_datacorr.py \
-		benchmarks/bench_store.py \
-		-k "orchestrator or it_power or response_latencies or datacorr or store" \
+		benchmarks/bench_store.py benchmarks/bench_green.py \
+		-k "orchestrator or it_power or response_latencies or datacorr or store or green" \
 		--benchmark-min-rounds=3
 
 bench:

@@ -22,8 +22,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.datacenter.battery import BatteryArray
 from repro.datacenter.datacenter import Datacenter
-from repro.units import SECONDS_PER_HOUR
+from repro.datacenter.pv import fleet_power_watts
+from repro.units import JOULES_PER_KWH, SECONDS_PER_HOUR
 
 
 @dataclass
@@ -82,6 +84,13 @@ class GreenController:
             raise ValueError("grid_charge_fraction must be in [0, 1]")
         self.step_s = step_s
         self.grid_charge_fraction = grid_charge_fraction
+        #: Fleet width up to which :meth:`run_slot_fleet` replays the
+        #: battery recurrence as per-DC scalar loops instead of the
+        #: struct-of-arrays step loop; both are bit-identical, the
+        #: scalar replay just dodges per-step array dispatch on narrow
+        #: fleets (the paper's is 3 DCs).  Tests pin this to 0 to
+        #: exercise the array path on small fleets.
+        self.scalar_replay_max_dcs = 8
 
     def run_slot(
         self,
@@ -169,3 +178,217 @@ class GreenController:
         )
         result.sanity_check()
         return result
+
+    def _steps_scalar_replay(
+        self,
+        batteries: BatteryArray,
+        surplus: np.ndarray,
+        peak: np.ndarray,
+        offer_surplus: np.ndarray,
+        request: np.ndarray,
+        charged: np.ndarray,
+        delivered: np.ndarray,
+        dt: float,
+    ) -> None:
+        """Battery recurrence via per-DC scalar replay (narrow fleets).
+
+        The recurrence never couples the DCs -- each battery's step
+        only reads its own column of the precomputed branch masks and
+        offers -- so on a narrow fleet it is cheaper to replay the
+        scalar :class:`~repro.datacenter.battery.Battery` arithmetic
+        directly on Python floats (the exact expressions of the
+        reference loop, hence bit-identical by construction) than to
+        pay per-step array dispatch.  All the *slot-level* work --
+        batched PV/tariff/PUE evaluation, branch masks, ledger
+        reductions -- stays vectorized in :meth:`run_slot_fleet`;
+        only the SoC recursion itself runs as ``n_dcs`` float loops.
+        Mutates ``batteries`` and fills the ``charged`` /
+        ``delivered`` ledger columns.
+        """
+        fraction = self.grid_charge_fraction
+        steps = peak.shape[0]
+        for d in range(len(batteries)):
+            capacity = float(batteries.capacity_joules[d])
+            floor = capacity * (1.0 - float(batteries.dod[d]))
+            charge_eff = float(batteries.charge_efficiency[d])
+            discharge_eff = float(batteries.discharge_efficiency[d])
+            rate_limit = (
+                float(batteries.max_c_rate[d]) * capacity * dt / 3600.0
+            )
+            rate_discharge = rate_limit * discharge_eff
+            soc = float(batteries.soc_joules[d])
+            surplus_col = surplus[:, d].tolist()
+            peak_col = peak[:, d].tolist()
+            offer_col = offer_surplus[:, d].tolist()
+            request_col = request[:, d].tolist()
+            charged_col = charged[:, d]
+            delivered_col = delivered[:, d]
+            for k in range(steps):
+                if surplus_col[k]:
+                    max_charge = min((capacity - soc) / charge_eff, rate_limit)
+                    accepted = min(offer_col[k], max_charge)
+                elif peak_col[k]:
+                    usable = max(soc - floor, 0.0) * discharge_eff
+                    deliverable = min(
+                        request_col[k], min(usable, rate_discharge)
+                    )
+                    if deliverable:
+                        soc -= deliverable / discharge_eff
+                        delivered_col[k] = deliverable
+                    continue
+                else:
+                    max_charge = min((capacity - soc) / charge_eff, rate_limit)
+                    accepted = min(max_charge * fraction, max_charge)
+                if accepted:
+                    soc += accepted * charge_eff
+                    charged_col[k] = accepted
+            batteries.soc_joules[d] = soc
+
+    def run_slot_fleet(
+        self,
+        dcs: list[Datacenter],
+        slot: int,
+        facility_power_w: np.ndarray,
+        slot_duration_s: float = SECONDS_PER_HOUR,
+    ) -> list[GreenSlotResult]:
+        """Source one slot's power for the *whole fleet* in one batch.
+
+        ``facility_power_w`` has shape ``(len(dcs), steps)`` -- row
+        ``i`` is exactly what :meth:`run_slot` would receive for
+        ``dcs[i]``.  Every DC's battery is mutated, and the returned
+        ledgers are **bit-identical** to per-DC :meth:`run_slot` calls:
+
+        * the only sequential dependence is the battery recurrence, so
+          the kernel loops over *steps* only, holding SoC and the
+          per-step charge/discharge amounts as struct-of-arrays
+          (:class:`~repro.datacenter.battery.BatteryArray`, whose batch
+          ops replay the scalar expressions elementwise);
+        * everything time-indexed -- PV power, peak windows, prices,
+          branch masks, charge offers under surplus -- is evaluated
+          once for the whole slot via the batched
+          PV/PUE/tariff helpers, in ``(steps, n_dcs)`` layout so each
+          step reads one contiguous row;
+        * per-DC ledger accumulators reduce the recorded per-step
+          contributions with ``sum(axis=0)`` over the C-contiguous
+          ``(steps, n_dcs)`` arrays, which accumulates rows
+          sequentially -- the scalar loop's step-order reduction.
+          Steps a branch does not touch contribute exactly ``+0.0``,
+          which is the identity the scalar accumulators never see;
+        * fleets up to :attr:`scalar_replay_max_dcs` DCs replay the
+          SoC recursion itself as per-DC Python-float loops
+          (:meth:`_steps_scalar_replay`) -- bit-identical by
+          construction and cheaper than per-step array dispatch at
+          the paper's fleet width; everything slot-level stays
+          batched either way.
+        """
+        facility_power_w = np.asarray(facility_power_w, dtype=float)
+        if facility_power_w.ndim != 2 or facility_power_w.shape[1] == 0:
+            raise ValueError(
+                "facility_power_w must be a non-empty (n_dcs, steps) array"
+            )
+        if facility_power_w.shape[0] != len(dcs):
+            raise ValueError("facility_power_w rows must match the fleet")
+        if np.any(facility_power_w < 0):
+            raise ValueError("facility power must be non-negative")
+        if not dcs:
+            return []
+
+        n_dcs, steps = facility_power_w.shape
+        dt = slot_duration_s / steps
+        times = slot * slot_duration_s + (np.arange(steps) + 0.5) * dt
+        pv_power = fleet_power_watts([dc.pv for dc in dcs], times)
+
+        # (steps, n_dcs) layout: per-step rows are contiguous views.
+        load = np.ascontiguousarray(facility_power_w.T) * dt
+        pv = np.ascontiguousarray(pv_power.T) * dt
+        peak = np.stack(
+            [dc.spec.tariff.is_peak(times) for dc in dcs], axis=1
+        )
+        price = np.stack(
+            [dc.spec.tariff.price_per_kwh(times) for dc in dcs], axis=1
+        )
+        surplus = pv >= load
+        deficit = load - pv
+        deficit_peak = ~surplus & peak
+        deficit_off = ~surplus & ~peak
+        request = np.where(deficit_peak, deficit, 0.0)
+        #: Charge offers that need no SoC: the PV surplus (branch A).
+        offer_surplus = np.where(surplus, pv - load, 0.0)
+
+        batteries = BatteryArray.from_batteries([dc.battery for dc in dcs])
+        soc_start = batteries.soc_joules.copy()
+        charged = np.zeros((steps, n_dcs))
+        delivered = np.zeros((steps, n_dcs))
+        if n_dcs <= self.scalar_replay_max_dcs:
+            self._steps_scalar_replay(
+                batteries, surplus, peak, offer_surplus, request,
+                charged, delivered, dt,
+            )
+        else:
+            #: Grid-charge scaling (branch C): C-rate cap times the
+            #: configured fraction where off-peak deficit, else 0.
+            offer_fraction = np.where(
+                deficit_off, self.grid_charge_fraction, 0.0
+            )
+            #: Per-step short circuits: skip the battery ops entirely
+            #: on steps where no DC charges / discharges (the skipped
+            #: scalar ops would all be SoC-preserving no-ops).
+            any_offer = (surplus | deficit_off).any(axis=1).tolist()
+            any_request = deficit_peak.any(axis=1).tolist()
+            charge = batteries.charge
+            discharge = batteries.discharge
+            max_charge_joules = batteries.max_charge_joules
+            for (
+                do_offer, do_request, offer_row, fraction_row,
+                request_row, charged_row, delivered_row,
+            ) in zip(
+                any_offer, any_request, offer_surplus, offer_fraction,
+                request, charged, delivered,
+            ):
+                if do_offer:
+                    max_charge = max_charge_joules(dt)
+                    offer = offer_row + fraction_row * max_charge
+                    charge(
+                        offer, dt, max_joules=max_charge, out=charged_row,
+                        check=False,
+                    )
+                if do_request:
+                    discharge(request_row, dt, out=delivered_row, check=False)
+        batteries.store_to([dc.battery for dc in dcs])
+
+        pv_used = np.where(surplus, load, pv).sum(axis=0)
+        pv_stored = np.where(surplus, charged, 0.0).sum(axis=0)
+        pv_curtailed = np.where(surplus, offer_surplus - charged, 0.0).sum(axis=0)
+        battery_discharged = delivered.sum(axis=0)
+        grid_to_load_steps = np.where(
+            deficit_peak,
+            deficit - delivered,
+            np.where(deficit_off, deficit, 0.0),
+        )
+        grid_to_battery_steps = np.where(deficit_off, charged, 0.0)
+        grid_steps = grid_to_load_steps + grid_to_battery_steps
+        grid_to_load = grid_to_load_steps.sum(axis=0)
+        grid_to_battery = grid_to_battery_steps.sum(axis=0)
+        grid_cost = (grid_steps / JOULES_PER_KWH * price).sum(axis=0)
+
+        facility_energy = facility_power_w.sum(axis=1)
+        pv_generated = pv_power.sum(axis=1)
+        results = []
+        for d in range(n_dcs):
+            result = GreenSlotResult(
+                facility_energy=float(facility_energy[d] * dt),
+                pv_generated=float(pv_generated[d] * dt),
+                pv_used=float(pv_used[d]),
+                pv_stored=float(pv_stored[d]),
+                pv_curtailed=float(pv_curtailed[d]),
+                battery_discharged=float(battery_discharged[d]),
+                grid_to_load=float(grid_to_load[d]),
+                grid_to_battery=float(grid_to_battery[d]),
+                grid_energy=float(grid_to_load[d] + grid_to_battery[d]),
+                grid_cost_eur=float(grid_cost[d]),
+                soc_start=float(soc_start[d]),
+                soc_end=float(batteries.soc_joules[d]),
+            )
+            result.sanity_check()
+            results.append(result)
+        return results

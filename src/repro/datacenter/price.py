@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.units import SECONDS_PER_HOUR, joules_to_kwh
 
 
@@ -45,28 +47,44 @@ class TwoLevelTariff:
         if not 0.0 < self.peak_end_hour <= 24.0:
             raise ValueError("peak_end_hour must be in (0, 24]")
 
-    def local_hour(self, time_s: float) -> float:
-        """Local hour of day at absolute UTC seconds."""
+    def local_hour(self, time_s: float | np.ndarray) -> float | np.ndarray:
+        """Local hour of day at absolute UTC seconds (scalar or array)."""
         return (time_s / SECONDS_PER_HOUR + self.tz_offset_hours) % 24.0
 
-    def is_peak(self, time_s: float) -> bool:
-        """Whether the peak tariff applies at absolute UTC seconds."""
+    def is_peak(self, time_s: float | np.ndarray) -> bool | np.ndarray:
+        """Whether the peak tariff applies at absolute UTC seconds.
+
+        Accepts a scalar (returns ``bool``) or an array of times
+        (returns a boolean array) -- the fleet-batched green controller
+        evaluates a whole slot's step times in one call.
+        """
         hour = self.local_hour(time_s)
         if self.peak_start_hour <= self.peak_end_hour:
-            return self.peak_start_hour <= hour < self.peak_end_hour
+            return (self.peak_start_hour <= hour) & (hour < self.peak_end_hour)
         # Window wrapping midnight.
-        return hour >= self.peak_start_hour or hour < self.peak_end_hour
+        return (hour >= self.peak_start_hour) | (hour < self.peak_end_hour)
 
-    def price_per_kwh(self, time_s: float) -> float:
-        """EUR per kWh at absolute UTC seconds."""
-        return self.peak_price if self.is_peak(time_s) else self.offpeak_price
+    def price_per_kwh(self, time_s: float | np.ndarray) -> float | np.ndarray:
+        """EUR per kWh at absolute UTC seconds (scalar or array)."""
+        peak = self.is_peak(time_s)
+        if isinstance(peak, np.ndarray):
+            return np.where(peak, self.peak_price, self.offpeak_price)
+        return self.peak_price if peak else self.offpeak_price
 
     def price_at_slot(self, slot: int) -> float:
         """EUR per kWh during hour-slot ``slot`` (evaluated mid-slot)."""
         return self.price_per_kwh((slot + 0.5) * SECONDS_PER_HOUR)
 
-    def cost_of(self, joules: float, time_s: float) -> float:
-        """Cost in EUR of drawing ``joules`` from the grid at a time."""
-        if joules < 0:
+    def cost_of(
+        self, joules: float | np.ndarray, time_s: float | np.ndarray
+    ) -> float | np.ndarray:
+        """Cost in EUR of drawing ``joules`` from the grid at a time.
+
+        Scalar or array in both arguments (broadcast elementwise); the
+        array path multiplies the exact same per-element factors as the
+        scalar path, so batched costs are bit-identical to per-step
+        scalar calls.
+        """
+        if np.any(np.asarray(joules) < 0):
             raise ValueError("energy must be non-negative")
         return joules_to_kwh(joules) * self.price_per_kwh(time_s)

@@ -72,3 +72,37 @@ class FreeCoolingPUE:
     ) -> np.ndarray:
         """Total facility power (W) for an IT power draw at a time."""
         return np.asarray(it_watts, dtype=float) * self.pue(time_s)
+
+
+def fleet_pue(
+    models: list[FreeCoolingPUE], time_s: np.ndarray
+) -> np.ndarray:
+    """PUE of several sites at shared times, one 2-D broadcast.
+
+    Returns shape ``(len(models),) + times.shape``; row ``i`` is
+    bit-identical to ``models[i].pue(time_s)`` -- the broadcast
+    evaluates the exact per-element expressions of
+    :meth:`FreeCoolingPUE.ambient_c` / :meth:`FreeCoolingPUE.pue` with
+    the per-site parameters lifted into column vectors.
+    """
+    times = np.asarray(time_s, dtype=float)
+    if not models:
+        return np.zeros((0,) + times.shape)
+    shape = (len(models),) + (1,) * times.ndim
+
+    def column(attribute: str) -> np.ndarray:
+        return np.array(
+            [getattr(model, attribute) for model in models]
+        ).reshape(shape)
+
+    hours = times / SECONDS_PER_HOUR
+    local = hours + column("tz_offset_hours")
+    daily = column("daily_swing_c") * np.cos(
+        2.0 * np.pi * (local - 15.0) / 24.0
+    )
+    wobble = 1.5 * np.sin(2.0 * np.pi * local / (24.0 * 5.3))
+    ambient = column("mean_temp_c") + daily + wobble
+    excess = np.maximum(ambient - column("free_cooling_threshold_c"), 0.0)
+    return np.minimum(
+        column("floor") + column("slope_per_c") * excess, column("ceiling")
+    )

@@ -97,3 +97,36 @@ class PVArray:
         times = slot * SECONDS_PER_HOUR + np.linspace(0.0, SECONDS_PER_HOUR, steps)
         powers = self.power_watts(times)
         return float(np.trapezoid(powers, times))
+
+
+def fleet_power_watts(
+    arrays: list[PVArray], time_s: np.ndarray
+) -> np.ndarray:
+    """Generated power of several PV arrays at shared times.
+
+    Returns shape ``(len(arrays),) + times.shape``; row ``i`` is
+    bit-identical to ``arrays[i].power_watts(time_s)`` (the identical
+    per-element expression is evaluated, with the time-only factors --
+    day indices and the deterministic cloud flicker -- hoisted out and
+    computed once for the whole fleet).  The per-site weather factors
+    keep coming from each array's seeded per-day cache, but are drawn
+    once per *unique* day instead of once per sample -- a slot's times
+    span one or two days, not 720 -- and gathered back per sample,
+    which leaves every element exactly the factor
+    :meth:`PVArray.weather_factor` returns for its day.
+    """
+    times = np.asarray(time_s, dtype=float)
+    out = np.empty((len(arrays),) + times.shape)
+    if not arrays:
+        return out
+    days = (times // (24.0 * SECONDS_PER_HOUR)).astype(int)
+    unique_days, inverse = np.unique(days, return_inverse=True)
+    flicker = 1.0 - 0.08 * (0.5 + 0.5 * np.sin(times / 522.0))
+    for row, array in enumerate(arrays):
+        factors = np.array(
+            [array.weather_factor(int(day)) for day in unique_days]
+        )
+        weather = factors[inverse].reshape(times.shape)
+        clear = array.clear_sky_fraction(times)
+        out[row] = array.kwp * 1000.0 * clear * weather * flicker
+    return out

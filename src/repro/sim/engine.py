@@ -18,14 +18,20 @@ Each slot the engine (Section IV-A's protocol):
 The engine owns all mutation (battery state, forecaster history);
 policies only read the observation.
 
-The two per-slot hot paths -- per-DC IT power and the Eq. 1 response
-latencies -- ship in two interchangeable implementations: the original
-reference loops and a vectorized path (grouped numpy segment sums over
-a server-index array; a stable-sort grouped ``n_dcs x n_dcs`` volume
-matrix).  The vectorized path is the default and is *bit-identical* to
-the loops: every floating-point reduction accumulates in the same
-order (``tests/sim/test_engine_vectorized.py`` asserts full-run
-equality), so results are independent of the ``vectorized`` flag.
+The per-slot physics hot paths ship in two interchangeable
+implementations: the original reference loops (per-server/per-VM
+Python loops, one scalar green-controller pass per DC) and the
+fleet-batched kernel -- one CSR membership product over the *whole*
+placement for every DC's IT power (:meth:`SimulationEngine._fleet_it_power`),
+one batched PUE broadcast, and one struct-of-arrays green-controller
+pass stepping every battery at once
+(:meth:`~repro.core.green.GreenController.run_slot_fleet`).  The Eq. 1
+response latencies likewise ship as dict loops and a stable-sort
+grouped ``n_dcs x n_dcs`` volume matrix.  The batched paths are the
+default and are *bit-identical* to the loops: every floating-point
+reduction accumulates in the same order
+(``tests/sim/test_engine_vectorized.py`` asserts full-run equality),
+so results are independent of the ``vectorized`` flag.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.core.green import GreenController
+from repro.datacenter.pue import fleet_pue
 from repro.sim.config import (
     ExperimentConfig,
     build_datacenters,
@@ -126,6 +133,27 @@ class SimulationEngine:
         #: Per-slot buckets of cache keys so eviction touches only the
         #: keys it removes (O(evicted)), not every live key each slot.
         self._demand_cache_slots: dict[int, list[tuple[int, int]]] = {}
+        #: Per-ServerModel (capacity, idle, peak) level arrays, keyed
+        #: by object id; the value keeps the model alive so ids stay
+        #: unique.  Server models are fixed per spec, so the fleet
+        #: kernel gathers per-server coefficients without rebuilding
+        #: these arrays every slot.
+        self._level_cache: dict[int, tuple] = {}
+
+    def _level_arrays(self, model) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached per-level (capacity, idle W, peak W) arrays of a model."""
+        cached = self._level_cache.get(id(model))
+        if cached is None or cached[0] is not model:
+            cached = (
+                model,
+                np.array(
+                    [model.capacity(index) for index in range(len(model.levels))]
+                ),
+                np.array([spec.idle_watts for spec in model.levels]),
+                np.array([spec.peak_watts for spec in model.levels]),
+            )
+            self._level_cache[id(model)] = cached
+        return cached[1], cached[2], cached[3]
 
     # -- workload access ------------------------------------------------
 
@@ -201,6 +229,12 @@ class SimulationEngine:
         The final reduction uses ``sum(axis=0)``, which likewise
         accumulates rows sequentially exactly like the reference's
         ``power +=``.
+
+        ``run()`` no longer calls this per DC: the fleet-batched
+        :meth:`_fleet_it_power` evaluates the whole placement in one
+        CSR product.  This per-DC form is retained as the
+        middle-reference the equivalence tests and benchmarks compare
+        against.
         """
         allocation = placement.allocations[dc_index]
         n_servers = len(allocation.server_vms)
@@ -232,6 +266,97 @@ class SimulationEngine:
             + (level_peak[levels, None] - level_idle[levels, None]) * utilization
         )
         return per_server.sum(axis=0), allocation.active_servers
+
+    def _fleet_it_power(
+        self,
+        placement: FleetPlacement,
+        vm_rows: dict[int, int],
+        demand_now: np.ndarray,
+    ) -> tuple[np.ndarray, list[int]]:
+        """IT power traces (W) of *every* DC from one CSR product.
+
+        Builds a single server-by-VM-row membership matrix over the
+        whole placement -- block rows per DC, in DC index order --
+        instead of rebuilding one matrix per DC per slot, and computes
+        all per-server aggregates and power draws in one pass.
+        Returns the ``(n_dcs, steps)`` power matrix and the per-DC
+        active-server counts.
+
+        Bit-identity with :meth:`_dc_it_power_vectorized` (and hence
+        with the loop reference): a CSR row's product terms accumulate
+        in stored-column order regardless of which other rows share
+        the matrix, the per-server power expression is elementwise,
+        and each DC's final reduction is ``sum(axis=0)`` over its
+        *contiguous block* of per-server rows -- the same rows, in the
+        same order, reduced the same way as the per-DC call.
+        """
+        steps = self.config.steps_per_slot
+        allocations = placement.allocations
+        actives = [allocation.active_servers for allocation in allocations]
+        counts = [len(allocation.server_vms) for allocation in allocations]
+        power = np.zeros((self.config.n_dcs, steps))
+        if sum(counts) == 0:
+            return power, actives
+
+        row_of_vm = np.array(
+            [
+                vm_rows[vm_id]
+                for allocation in allocations
+                for vms in allocation.server_vms
+                for vm_id in vms
+            ],
+            dtype=int,
+        )
+        indptr = np.concatenate(
+            (
+                [0],
+                np.cumsum(
+                    [
+                        len(vms)
+                        for allocation in allocations
+                        for vms in allocation.server_vms
+                    ]
+                ),
+            )
+        )
+        membership = sparse.csr_matrix(
+            (np.ones(row_of_vm.size), row_of_vm, indptr),
+            shape=(sum(counts), demand_now.shape[0]),
+        )
+        aggregate = membership @ demand_now
+
+        cap_rows, idle_rows, peak_rows = [], [], []
+        for allocation in allocations:
+            if not allocation.server_vms:
+                continue
+            levels = np.asarray(allocation.frequencies, dtype=int)
+            level_caps, level_idle, level_peak = self._level_arrays(
+                allocation.model
+            )
+            cap_rows.append(level_caps[levels])
+            idle_rows.append(level_idle[levels])
+            peak_rows.append(level_peak[levels])
+        caps = np.concatenate(cap_rows)
+        idle = np.concatenate(idle_rows)
+        peaks = np.concatenate(peak_rows)
+        # clip(x, 0, 1) reduced to the saturation bound with buffer
+        # reuse.  The lower clip is dropped: aggregates are sums of
+        # non-negative demand over positive capacities, so utilization
+        # can only differ from clip's by the sign of a zero -- and
+        # ``idle + span * u`` maps both zeros to the same bits.
+        utilization = np.divide(aggregate, caps[:, None], out=aggregate)
+        np.minimum(utilization, 1.0, out=utilization)
+        per_server = np.multiply(
+            utilization, (peaks - idle)[:, None], out=utilization
+        )
+        per_server += idle[:, None]
+
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        for dc_index in range(self.config.n_dcs):
+            block = per_server[bounds[dc_index] : bounds[dc_index + 1]]
+            if block.shape[0]:
+                power[dc_index] = block.sum(axis=0)
+        return power, actives
 
     def _response_latencies(
         self,
@@ -389,22 +514,40 @@ class SimulationEngine:
                 (np.arange(config.steps_per_slot) + 0.5)
                 * (SECONDS_PER_HOUR / config.steps_per_slot)
             )
-            for dc in dcs:
-                it_power, active = self._dc_it_power(
-                    placement, dc.index, vm_rows, demand_now
+            step_s = SECONDS_PER_HOUR / config.steps_per_slot
+            if self.vectorized:
+                # Fleet-batched slot physics: one CSR product for all
+                # DCs' IT power, one PUE broadcast, one green-controller
+                # kernel stepping every battery as struct-of-arrays.
+                it_matrix, actives = self._fleet_it_power(
+                    placement, vm_rows, demand_now
                 )
-                facility_power = it_power * dc.spec.pue_model.pue(times)
-                green = self.green.run_slot(dc, slot, facility_power)
+                facility_matrix = it_matrix * fleet_pue(
+                    [dc.spec.pue_model for dc in dcs], times
+                )
+                greens = self.green.run_slot_fleet(dcs, slot, facility_matrix)
+                it_traces = list(it_matrix)
+            else:
+                greens, actives, it_traces = [], [], []
+                for dc in dcs:
+                    it_power, active = self._dc_it_power(
+                        placement, dc.index, vm_rows, demand_now
+                    )
+                    facility_power = it_power * dc.spec.pue_model.pue(times)
+                    greens.append(self.green.run_slot(dc, slot, facility_power))
+                    actives.append(active)
+                    it_traces.append(it_power)
+            for dc in dcs:
+                green = greens[dc.index]
                 dc.record_slot(slot, green.facility_energy, green.pv_generated)
                 latency, receiving = latencies[dc.index]
                 slot_record.dc_records.append(
                     DCSlotRecord(
                         green=green,
                         it_energy_joules=float(
-                            it_power.sum()
-                            * (SECONDS_PER_HOUR / config.steps_per_slot)
+                            it_traces[dc.index].sum() * step_s
                         ),
-                        active_servers=active,
+                        active_servers=actives[dc.index],
                         response_latency_s=latency,
                         receiving_vms=receiving,
                     )

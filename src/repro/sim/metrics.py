@@ -25,12 +25,18 @@ _Z_95 = 1.959963984540054
 
 
 def normalized_costs(results: list[RunResult]) -> dict[str, float]:
-    """Fig. 1 quantity: cost / worst-method cost, per policy."""
+    """Fig. 1 quantity: cost / worst-method cost, per policy.
+
+    When the worst cost is 0 (all-green scenarios: every policy ran
+    the week without buying grid energy) all policies are tied at the
+    worst case, so each reports 1.0 -- not 0.0, which would read as
+    "infinitely better" than a zero-cost baseline.
+    """
     if not results:
         return {}
     worst = max(result.total_grid_cost_eur() for result in results)
     if worst <= 0:
-        return {result.policy_name: 0.0 for result in results}
+        return {result.policy_name: 1.0 for result in results}
     return {
         result.policy_name: result.total_grid_cost_eur() / worst
         for result in results
@@ -106,14 +112,19 @@ def response_time_pdf(
 
     ``upper`` normalizes the samples by a common worst case (use the
     max across all methods to match the paper's normalization).
+    Samples above ``upper`` clip to 1.0 -- the paper's
+    worst-case-normalized axis ends at 1, and dropping them instead
+    would leave a "density" that no longer integrates to 1.  An
+    ``upper`` of 0.0 is an explicit (degenerate) scale, not "unset";
+    non-positive scales fall back to 1.0.
     """
     samples = np.asarray(samples, dtype=float)
     if samples.size == 0:
         return np.zeros(0), np.zeros(0)
-    scale = upper if upper else float(samples.max())
+    scale = float(samples.max()) if upper is None else upper
     if scale <= 0:
         scale = 1.0
-    normalized = samples / scale
+    normalized = np.minimum(samples / scale, 1.0)
     density, edges = np.histogram(normalized, bins=bins, range=(0.0, 1.0), density=True)
     centers = 0.5 * (edges[:-1] + edges[1:])
     return centers, density

@@ -93,15 +93,17 @@ class ResultStore:
         root: str | os.PathLike | None = None,
         backend: str | StoreBackend = "auto",
     ) -> None:
-        if root is None:
+        if not isinstance(backend, str):
+            # An already-constructed backend wins regardless of root
+            # (its own root is authoritative).
+            self._backend: StoreBackend | None = backend
+            self.root = backend.root
+        elif root is None:
             self.root = None
-            self._backend: StoreBackend | None = None
-        elif isinstance(backend, str):
+            self._backend = None
+        else:
             self.root = pathlib.Path(root)
             self._backend = open_backend(self.root, backend)
-        else:
-            self._backend = backend
-            self.root = backend.root
         self._memory: dict[str, RunResult] = {}
         self._lock = threading.RLock()
         self.hits_memory = 0

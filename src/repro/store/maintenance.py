@@ -130,7 +130,27 @@ def migrate_store(
     re-reads every fingerprint from the destination and compares the
     canonical JSON serialization -- the bit-identity check behind
     ``repro store migrate``.
+
+    Self-migration is refused: with ``dest`` equal to ``source`` --
+    or nested inside it, or containing it -- the writer's puts land in
+    the tree the reader is scanning, which can double-count documents
+    or corrupt the layout mid-scan.  Both paths are resolved before
+    the check, so symlinked or relative spellings of the same root are
+    caught too.
     """
+    source_resolved = pathlib.Path(source).resolve()
+    dest_resolved = pathlib.Path(dest).resolve()
+    if (
+        source_resolved == dest_resolved
+        or dest_resolved.is_relative_to(source_resolved)
+        or source_resolved.is_relative_to(dest_resolved)
+    ):
+        raise ValueError(
+            f"cannot migrate {str(source)!r} into {str(dest)!r}: source "
+            "and destination resolve to overlapping paths; migrating a "
+            "store into itself would interleave reads and writes -- "
+            "pick a destination outside the source tree"
+        )
     reader = open_backend(source, source_backend)
     writer = open_backend(dest, to)
     migrated = 0

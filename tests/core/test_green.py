@@ -153,3 +153,76 @@ class TestValidation:
     def test_empty_power_rejected(self, dc, controller):
         with pytest.raises(ValueError):
             controller.run_slot(dc, 0, np.zeros(0))
+
+
+def fresh_fleet(specs, soc_fraction: float | None = None) -> list[Datacenter]:
+    dcs = [Datacenter(spec, index, seed=1) for index, spec in enumerate(specs)]
+    if soc_fraction is not None:
+        for dc in dcs:
+            dc.battery.soc_joules = dc.battery.capacity_joules * soc_fraction
+    return dcs
+
+
+class TestFleetKernel:
+    """run_slot_fleet: bit-identity with per-DC run_slot, both paths."""
+
+    def fleet_power(self, n_dcs: int = 3, steps: int = 60) -> np.ndarray:
+        rng = np.random.default_rng(5)
+        return rng.uniform(0.0, 2000.0, size=(n_dcs, steps))
+
+    @pytest.mark.parametrize("slot", [2, 7, 12, 20])
+    @pytest.mark.parametrize("soc_fraction", [0.55, 1.0])
+    def test_matches_per_dc_reference(self, specs, controller, slot, soc_fraction):
+        power = self.fleet_power()
+        reference_dcs = fresh_fleet(specs, soc_fraction)
+        fleet_dcs = fresh_fleet(specs, soc_fraction)
+        reference = [
+            controller.run_slot(dc, slot, power[dc.index])
+            for dc in reference_dcs
+        ]
+        fleet = controller.run_slot_fleet(fleet_dcs, slot, power)
+        assert fleet == reference
+        for ref_dc, fleet_dc in zip(reference_dcs, fleet_dcs):
+            assert fleet_dc.battery.soc_joules == ref_dc.battery.soc_joules
+
+    @pytest.mark.parametrize("slot", [2, 12, 20])
+    def test_struct_of_arrays_path_matches(self, specs, controller, slot):
+        """Forcing the SoA battery loop gives the same bits as replay."""
+        power = self.fleet_power()
+        reference = controller.run_slot_fleet(
+            fresh_fleet(specs, 0.7), slot, power
+        )
+        controller.scalar_replay_max_dcs = 0
+        try:
+            batched = controller.run_slot_fleet(
+                fresh_fleet(specs, 0.7), slot, power
+            )
+        finally:
+            controller.scalar_replay_max_dcs = 8
+        assert batched == reference
+
+    def test_mutates_every_battery(self, specs, controller):
+        dcs = fresh_fleet(specs, 1.0)
+        slot = peak_slot(dcs[0])
+        controller.run_slot_fleet(
+            dcs, slot, np.full((3, 60), 5000.0)
+        )
+        assert dcs[0].battery.soc_joules < dcs[0].battery.capacity_joules
+
+    def test_empty_fleet_returns_empty(self, controller):
+        assert controller.run_slot_fleet([], 0, np.zeros((0, 4))) == []
+
+    def test_rejects_row_mismatch(self, specs, controller):
+        dcs = fresh_fleet(specs)
+        with pytest.raises(ValueError):
+            controller.run_slot_fleet(dcs, 0, np.zeros((2, 60)))
+
+    def test_rejects_1d_power(self, specs, controller):
+        dcs = fresh_fleet(specs)
+        with pytest.raises(ValueError):
+            controller.run_slot_fleet(dcs, 0, np.zeros(60))
+
+    def test_rejects_negative_power(self, specs, controller):
+        dcs = fresh_fleet(specs)
+        with pytest.raises(ValueError):
+            controller.run_slot_fleet(dcs, 0, np.full((3, 60), -1.0))

@@ -77,3 +77,63 @@ class TestValidation:
             TwoLevelTariff(peak_start_hour=25.0)
         with pytest.raises(ValueError):
             TwoLevelTariff(peak_end_hour=0.0)
+
+
+class TestArrayTariff:
+    """Array-valued tariff evaluation matches the scalar path exactly."""
+
+    def times(self):
+        import numpy as np
+
+        return np.linspace(0.0, 72 * SECONDS_PER_HOUR, 500)
+
+    def test_is_peak_array_matches_scalars(self, tariff):
+        import numpy as np
+
+        times = self.times()
+        batch = tariff.is_peak(times)
+        assert isinstance(batch, np.ndarray) and batch.dtype == bool
+        assert batch.tolist() == [
+            tariff.is_peak(float(t)) for t in times
+        ]
+
+    def test_is_peak_scalar_still_returns_bool(self, tariff):
+        assert isinstance(tariff.is_peak(12 * SECONDS_PER_HOUR), bool)
+
+    def test_wrapping_window_array(self):
+        import numpy as np
+
+        night = TwoLevelTariff(peak_start_hour=22.0, peak_end_hour=6.0)
+        times = self.times()
+        assert night.is_peak(times).tolist() == [
+            night.is_peak(float(t)) for t in times
+        ]
+        assert isinstance(night.is_peak(times), np.ndarray)
+
+    def test_price_array_matches_scalars(self, tariff):
+        import numpy as np
+
+        times = self.times()
+        assert np.array_equal(
+            tariff.price_per_kwh(times),
+            [tariff.price_per_kwh(float(t)) for t in times],
+        )
+
+    def test_cost_array_matches_scalars(self, tariff):
+        import numpy as np
+
+        times = self.times()
+        joules = np.linspace(0.0, 5.0e6, times.size)
+        assert np.array_equal(
+            tariff.cost_of(joules, times),
+            [
+                tariff.cost_of(float(j), float(t))
+                for j, t in zip(joules, times)
+            ],
+        )
+
+    def test_cost_array_rejects_negative_energy(self, tariff):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            tariff.cost_of(np.array([1.0, -1.0]), np.array([0.0, 0.0]))

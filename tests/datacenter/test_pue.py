@@ -54,3 +54,39 @@ class TestPUE:
         assert int(np.argmax(utc.ambient_c(times))) != int(
             np.argmax(east.ambient_c(times))
         )
+
+
+class TestFleetPue:
+    """Batched fleet PUE broadcast is bit-identical to per-model calls."""
+
+    def models(self):
+        return [
+            FreeCoolingPUE(tz_offset_hours=0.0),
+            FreeCoolingPUE(
+                mean_temp_c=20.0,
+                daily_swing_c=8.0,
+                free_cooling_threshold_c=14.0,
+                tz_offset_hours=1.0,
+            ),
+            FreeCoolingPUE(mean_temp_c=5.0, tz_offset_hours=2.0),
+        ]
+
+    def test_rows_match_per_model_pue(self):
+        import numpy as np
+
+        from repro.datacenter.pue import fleet_pue
+        from repro.units import SECONDS_PER_HOUR
+
+        models = self.models()
+        times = np.linspace(0.0, 48 * SECONDS_PER_HOUR, 720)
+        batch = fleet_pue(models, times)
+        assert batch.shape == (3, times.size)
+        for row, model in enumerate(models):
+            assert np.array_equal(batch[row], model.pue(times))
+
+    def test_empty_fleet(self):
+        import numpy as np
+
+        from repro.datacenter.pue import fleet_pue
+
+        assert fleet_pue([], np.zeros(5)).shape == (0, 5)

@@ -87,3 +87,48 @@ class TestPower:
             PVArray(kwp=-1.0)
         with pytest.raises(ValueError):
             PVArray(kwp=1.0, sunrise_hour=20.0, sunset_hour=6.0)
+
+
+class TestFleetPowerWatts:
+    """Batched fleet PV evaluation is bit-identical to per-array calls."""
+
+    def arrays(self):
+        from repro.datacenter.pv import PVArray
+
+        return [
+            PVArray(kwp=150.0, tz_offset_hours=0.0, seed=1),
+            PVArray(kwp=100.0, tz_offset_hours=1.0, seed=2),
+            PVArray(kwp=50.0, tz_offset_hours=2.0, seed=3),
+        ]
+
+    def test_rows_match_per_array_power(self):
+        import numpy as np
+
+        from repro.datacenter.pv import fleet_power_watts
+        from repro.units import SECONDS_PER_HOUR
+
+        arrays = self.arrays()
+        # Spans a midnight day boundary so two weather days contribute.
+        times = 23.5 * SECONDS_PER_HOUR + np.linspace(
+            0.0, SECONDS_PER_HOUR, 720
+        )
+        batch = fleet_power_watts(arrays, times)
+        assert batch.shape == (3, times.size)
+        for row, array in enumerate(arrays):
+            assert np.array_equal(batch[row], array.power_watts(times))
+
+    def test_empty_fleet(self):
+        import numpy as np
+
+        from repro.datacenter.pv import fleet_power_watts
+
+        batch = fleet_power_watts([], np.linspace(0.0, 3600.0, 10))
+        assert batch.shape == (0, 10)
+
+    def test_empty_times(self):
+        import numpy as np
+
+        from repro.datacenter.pv import fleet_power_watts
+
+        batch = fleet_power_watts(self.arrays(), np.zeros(0))
+        assert batch.shape == (3, 0)

@@ -62,6 +62,76 @@ class TestGreenControllerProperties:
         assert ledger.grid_to_load == 0.0
 
 
+class TestFleetKernelProperties:
+    """GreenSlotResult invariants hold through the fleet kernel.
+
+    The fleet slots sweep peak/off-peak tariff boundaries (slots cover
+    three days across three time zones) and battery saturation (SoC
+    from the DoD floor to full, loads from idle to far beyond PV), and
+    every ledger must match the scalar reference bit for bit on both
+    battery paths.
+    """
+
+    @given(
+        watts=st.lists(
+            st.floats(0.0, 50000.0, allow_nan=False), min_size=3, max_size=3
+        ),
+        slot=st.integers(0, 72),
+        soc_fractions=st.lists(
+            st.floats(0.0, 1.0, allow_nan=False), min_size=3, max_size=3
+        ),
+        batched_battery=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_fleet_ledgers_match_reference_and_conserve(
+        self, watts, slot, soc_fractions, batched_battery
+    ):
+        def fleet(soc_fractions):
+            dcs = [
+                Datacenter(spec, index, seed=1)
+                for index, spec in enumerate(make_specs())
+            ]
+            for dc, fraction in zip(dcs, soc_fractions):
+                floor = dc.battery.floor_joules
+                dc.battery.soc_joules = floor + (
+                    dc.battery.capacity_joules - floor
+                ) * fraction
+            return dcs
+
+        power = np.stack([np.full(30, value) for value in watts])
+        controller = GreenController(step_s=120.0)
+        reference_dcs = fleet(soc_fractions)
+        reference = [
+            controller.run_slot(dc, slot, power[dc.index])
+            for dc in reference_dcs
+        ]
+        fleet_dcs = fleet(soc_fractions)
+        if batched_battery:
+            controller.scalar_replay_max_dcs = 0
+        ledgers = controller.run_slot_fleet(fleet_dcs, slot, power)
+
+        assert ledgers == reference
+        for ledger, dc, ref_dc in zip(ledgers, fleet_dcs, reference_dcs):
+            ledger.sanity_check()
+            # Energy conservation and the PV split, spelled out.
+            supplied = (
+                ledger.pv_used + ledger.battery_discharged + ledger.grid_to_load
+            )
+            assert supplied == pytest.approx(ledger.facility_energy)
+            split = ledger.pv_used + ledger.pv_stored + ledger.pv_curtailed
+            assert split == pytest.approx(ledger.pv_generated)
+            assert ledger.grid_energy == pytest.approx(
+                ledger.grid_to_load + ledger.grid_to_battery
+            )
+            assert ledger.grid_cost_eur >= 0.0
+            assert dc.battery.soc_joules == ref_dc.battery.soc_joules
+            assert (
+                dc.battery.floor_joules - 1e-6
+                <= dc.battery.soc_joules
+                <= dc.battery.capacity_joules + 1e-6
+            )
+
+
 class TestTariffProperties:
     @given(
         time_s=st.floats(0.0, 1e7, allow_nan=False),

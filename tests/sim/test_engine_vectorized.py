@@ -152,3 +152,75 @@ class TestDemandCacheEviction:
         }
         assert bucketed == set(engine._demand_cache)
         assert {slot for _, slot in engine._demand_cache} <= {2, 3}
+
+
+class TestFleetItPower:
+    """The one-shot fleet CSR product equals the per-DC paths exactly."""
+
+    def physics_inputs(self, slot=0):
+        config = scaled_config("tiny").with_horizon(2)
+        engine = SimulationEngine(config, default_policies()[1])
+        vms = engine.population.alive(slot)
+        vm_rows = {vm.vm_id: row for row, vm in enumerate(vms)}
+        demand = engine._demand(vms, slot)
+        policy = default_policies()[1]
+        policy.reset()
+        from repro.sim.config import build_datacenters
+        from repro.sim.state import SlotObservation
+
+        observation = SlotObservation(
+            slot=slot,
+            vms=vms,
+            demand_traces=demand,
+            volumes=engine.volumes.volumes(vms, slot),
+            previous_assignment={},
+            dcs=build_datacenters(config),
+            latency_model=engine.latency_model,
+            latency_constraint_s=config.latency_constraint_s,
+        )
+        placement = policy.place(observation)
+        return config, engine, placement, vm_rows, demand
+
+    def test_matches_per_dc_paths(self):
+        config, engine, placement, vm_rows, demand = self.physics_inputs()
+        power, actives = engine._fleet_it_power(placement, vm_rows, demand)
+        assert power.shape == (config.n_dcs, config.steps_per_slot)
+        for dc_index in range(config.n_dcs):
+            loop = engine._dc_it_power_loop(
+                placement, dc_index, vm_rows, demand
+            )
+            per_dc = engine._dc_it_power_vectorized(
+                placement, dc_index, vm_rows, demand
+            )
+            assert np.array_equal(power[dc_index], loop[0])
+            assert np.array_equal(power[dc_index], per_dc[0])
+            assert actives[dc_index] == loop[1] == per_dc[1]
+
+    def test_empty_placement(self):
+        from repro.core.local import ServerAllocation
+        from repro.datacenter.server import XEON_E5410
+
+        config, engine, placement, vm_rows, demand = self.physics_inputs()
+        placement.allocations = [
+            ServerAllocation(model=XEON_E5410, n_servers=4)
+            for _ in range(config.n_dcs)
+        ]
+        power, actives = engine._fleet_it_power(
+            placement, vm_rows, np.zeros((0, config.steps_per_slot))
+        )
+        assert not power.any()
+        assert actives == [0] * config.n_dcs
+
+
+class TestFleetGreenPathsInRun:
+    """Full runs agree across every battery-kernel variant."""
+
+    def test_struct_of_arrays_green_full_run(self):
+        config = scaled_config("tiny").with_horizon(6)
+        loops = SimulationEngine(
+            config, default_policies()[1], vectorized=False
+        ).run()
+        fleet_engine = SimulationEngine(config, default_policies()[1])
+        fleet_engine.green.scalar_replay_max_dcs = 0
+        batched = fleet_engine.run()
+        assert loops.slots == batched.slots

@@ -40,6 +40,16 @@ class TestNormalizedCosts:
     def test_empty(self):
         assert normalized_costs([]) == {}
 
+    def test_zero_worst_cost_reports_parity(self):
+        """All-green scenarios: every policy ties at 1.0, not 0.0."""
+        free = [run_named("Proposed"), run_named("Ener-aware")]
+        for result in free:
+            for slot in result.slots:
+                for record_ in slot.dc_records:
+                    record_.green.grid_cost_eur = 0.0
+        norms = normalized_costs(free)
+        assert norms == {"Proposed": 1.0, "Ener-aware": 1.0}
+
 
 class TestImprovements:
     def test_improvement_pct(self):
@@ -82,6 +92,26 @@ class TestResponsePdf:
         centers, density = response_time_pdf(np.zeros(0))
         assert centers.size == 0
         assert density.size == 0
+
+    def test_zero_upper_is_not_unset(self):
+        """``upper=0.0`` must not silently fall back to the sample max."""
+        samples = np.array([0.5, 2.0])
+        centers, with_zero = response_time_pdf(samples, bins=4, upper=0.0)
+        # Degenerate scale falls back to 1.0: 0.5 stays, 2.0 clips.
+        _, explicit_one = response_time_pdf(samples, bins=4, upper=1.0)
+        assert np.array_equal(with_zero, explicit_one)
+        _, unset = response_time_pdf(samples, bins=4)
+        assert not np.array_equal(with_zero, unset)
+
+    def test_samples_above_upper_clip_into_top_bin(self):
+        """Out-of-range samples keep the density integrating to 1."""
+        samples = np.concatenate(
+            [np.full(50, 0.2), np.full(50, 3.0)]  # half beyond upper
+        )
+        centers, density = response_time_pdf(samples, bins=10, upper=1.0)
+        width = centers[1] - centers[0]
+        assert float((density * width).sum()) == pytest.approx(1.0)
+        assert density[-1] > 0.0  # the clipped mass lands in the top bin
 
 
 class TestFormatting:

@@ -329,3 +329,15 @@ class TestShardedRerouting:
         assert fresh.count() == 1
         assert backend.delete(fp(1)) is True
         assert ShardedBackend(tmp_path).count() == 0
+
+
+class TestResultStoreBackendInstance:
+    """A pre-built backend instance is honored even without ``root``."""
+
+    def test_backend_instance_without_root(self, tmp_path):
+        from repro.store import ResultStore, SegmentBackend
+
+        backend = SegmentBackend(tmp_path / "seg")
+        store = ResultStore(backend=backend)
+        assert store.backend is backend
+        assert store.root == backend.root

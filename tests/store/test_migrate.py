@@ -84,3 +84,39 @@ class TestMigrateToSegment:
         report = migrate_store(v1_root, dest, to="segment")
         assert report.verified
         assert SegmentBackend(dest).count() == 4
+
+
+class TestSelfMigrationRefused:
+    """Overlapping source/dest would interleave reader scans and puts."""
+
+    def test_same_root_refused(self, v1_root):
+        with pytest.raises(ValueError, match="overlapping"):
+            migrate_store(v1_root, v1_root, to="segment")
+
+    def test_same_root_via_relative_spelling_refused(self, v1_root):
+        aliased = v1_root / ".." / v1_root.name
+        with pytest.raises(ValueError, match="overlapping"):
+            migrate_store(v1_root, aliased, to="segment")
+
+    def test_dest_nested_inside_source_refused(self, v1_root):
+        with pytest.raises(ValueError, match="overlapping"):
+            migrate_store(v1_root, v1_root / "migrated", to="segment")
+
+    def test_source_nested_inside_dest_refused(self, v1_root, tmp_path):
+        with pytest.raises(ValueError, match="overlapping"):
+            migrate_store(v1_root, v1_root.parent, to="segment")
+
+    def test_source_untouched_after_refusal(self, v1_root, tmp_path):
+        import json as json_module
+
+        before = {
+            fingerprint: json_module.dumps(document, sort_keys=True)
+            for fingerprint, document in JsonFileBackend(v1_root).scan()
+        }
+        with pytest.raises(ValueError):
+            migrate_store(v1_root, v1_root / "sub", to="segment")
+        after = {
+            fingerprint: json_module.dumps(document, sort_keys=True)
+            for fingerprint, document in JsonFileBackend(v1_root).scan()
+        }
+        assert after == before

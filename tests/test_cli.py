@@ -385,6 +385,20 @@ class TestStoreSubcommand:
                      "--store", str(dest)]) == 0
         assert invocations == []  # the migrated root serves every run
 
+    def test_migrate_onto_itself_refused(self, tmp_path):
+        store = self.warm_store(tmp_path)
+        with pytest.raises(SystemExit, match="overlapping"):
+            main(["store", "migrate", "--store", str(store),
+                  "--dest", str(store), "--to", "segment"])
+
+    def test_migrate_into_nested_dest_refused(self, tmp_path):
+        store = self.warm_store(tmp_path)
+        nested = store / "migrated"
+        with pytest.raises(SystemExit, match="overlapping"):
+            main(["store", "migrate", "--store", str(store),
+                  "--dest", str(nested), "--to", "segment"])
+        assert not nested.exists()  # refused before any write
+
     def test_compact_segment_store(self, capsys, tmp_path):
         store = self.warm_store(tmp_path, backend="segment")
         capsys.readouterr()

@@ -4,14 +4,16 @@
 #   make bench-smoke - tiny-scale benchmark suite: orchestrator fan-out,
 #                      result-store warm hits, store-backend write/read/
 #                      scan (per-file vs sharded vs segment), the
-#                      engine's per-slot hot paths, the fleet-batched
+#                      experiment-service warm-hit throughput (8
+#                      concurrent clients vs one daemon), the engine's
+#                      per-slot hot paths, the fleet-batched
 #                      slot-physics kernel (bench_green) and the
 #                      data-correlation generation (loop vs vectorized)
 #   make bench       - full benchmark harness (slow: one-week comparison)
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test bench-smoke bench
+.PHONY: test bench-smoke bench store-compact-nightly
 
 test:
 	$(PYTEST) -x -q
@@ -22,8 +24,16 @@ bench-smoke:
 	$(PYTEST) -q benchmarks/bench_orchestrator.py \
 		benchmarks/bench_scaling.py benchmarks/bench_datacorr.py \
 		benchmarks/bench_store.py benchmarks/bench_green.py \
-		-k "orchestrator or it_power or response_latencies or datacorr or store or green" \
+		benchmarks/bench_service.py \
+		-k "orchestrator or it_power or response_latencies or datacorr or store or green or service" \
 		--benchmark-min-rounds=3
+
+# Nightly follow-up to bench-smoke: compact the segment store the
+# service benchmark leaves behind so tombstoned/duplicated records
+# never accumulate between runs (the scheduled-compaction path).
+store-compact-nightly:
+	PYTHONPATH=src python -m repro store compact \
+		--store benchmarks/reports/service_store
 
 bench:
 	$(PYTEST) -q benchmarks

@@ -1,0 +1,170 @@
+"""Experiment-service benchmarks: warm-hit throughput under load.
+
+The service's job is to let many clients share one warm store, so the
+headline number is *cached* artifacts served per second: one daemon
+(segment-backed store, pre-warmed with the four-method comparison at
+a short horizon) serving :data:`N_CLIENTS` concurrent
+:class:`~repro.service.client.ServiceClient` threads that hammer
+``POST /runs`` with already-stored requests.
+
+The ROADMAP acceptance bar -- >= :data:`HIT_RATE_BAR` cached
+artifacts/s from 8 concurrent clients -- is asserted by
+``test_service_warm_hit_throughput`` and recorded under
+``benchmarks/reports/``.  Note both sides of the exchange run in this
+one process (8 clients + the daemon share the GIL), so the daemon
+alone clears the bar with headroom.
+
+The daemon's store is left under ``benchmarks/reports/service_store``
+(small: one comparison at tiny scale): the nightly workflow compacts
+it with ``repro store compact`` after the smoke suite, exercising the
+scheduled-compaction path end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import threading
+import time
+
+from repro.experiments.orchestrator import (
+    Orchestrator,
+    ResultStore,
+    RunRequest,
+)
+from repro.experiments.runner import default_policies
+from repro.service import ExperimentDaemon, ServiceClient
+from repro.service.protocol import encode_request
+from repro.sim.config import scaled_config
+
+from conftest import REPORT_DIR
+
+#: Concurrent client threads (the acceptance bar's fixed fan-in).
+N_CLIENTS = 8
+
+#: Minimum warm-hit throughput (cached artifacts served per second).
+HIT_RATE_BAR = 1_000.0
+
+#: How long the throughput measurement hammers the daemon.
+MEASURE_S = 2.0
+
+#: Store root handed to the nightly ``repro store compact`` step.
+SERVICE_STORE = REPORT_DIR / "service_store"
+
+
+def _requests() -> list[RunRequest]:
+    config = scaled_config("tiny", seed=0).with_horizon(2)
+    return [
+        RunRequest(config=config, policy=policy)
+        for policy in default_policies()
+    ]
+
+
+def _start_daemon() -> tuple[ExperimentDaemon, list[RunRequest]]:
+    """A daemon over a segment store pre-warmed with the tiny grid."""
+    shutil.rmtree(SERVICE_STORE, ignore_errors=True)
+    SERVICE_STORE.parent.mkdir(exist_ok=True)
+    store = ResultStore(SERVICE_STORE, backend="segment")
+    orchestrator = Orchestrator(store=store, jobs=2)
+    requests = _requests()
+    orchestrator.run_many(requests)  # warm the store + response cache
+    daemon = ExperimentDaemon(orchestrator).start()
+    return daemon, requests
+
+
+def _hammer(
+    url: str,
+    payloads: list[bytes],
+    stop_at: float,
+    counts: list[int],
+    slot: int,
+) -> None:
+    """One client thread: POST prepared warm requests until the bell."""
+    client = ServiceClient(url)
+    served = 0
+    while time.perf_counter() < stop_at:
+        for body in payloads:
+            status, payload = client._request("POST", "/runs", body=body)
+            assert status == 200, (status, payload)
+            served += 1
+    counts[slot] = served
+    client.close()
+
+
+def test_service_warm_hit_throughput(report_dir):
+    """Acceptance bar: >= 1k cached artifacts/s across 8 clients."""
+    daemon, requests = _start_daemon()
+    try:
+        url = daemon.url
+        # Pre-encode the wire payloads once per client loop iteration:
+        # the gate measures the *daemon's* warm path, not the client's
+        # canonicalization cost.
+        payloads = [
+            json.dumps(encode_request(request)).encode()
+            for request in requests
+        ]
+        # Prime every fingerprint into the daemon's response cache.
+        warmup = ServiceClient(url)
+        for request in requests:
+            artifact = warmup.run(request)
+            assert artifact.from_cache or artifact.source == "computed"
+        warmup.close()
+
+        counts = [0] * N_CLIENTS
+        stop_at = time.perf_counter() + MEASURE_S
+        threads = [
+            threading.Thread(
+                target=_hammer,
+                args=(url, payloads, stop_at, counts, slot),
+            )
+            for slot in range(N_CLIENTS)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        served = sum(counts)
+        rate = served / elapsed
+        stats = ServiceClient(url).stats()
+    finally:
+        daemon.close()
+
+    lines = [
+        f"experiment service warm-hit throughput "
+        f"({N_CLIENTS} concurrent clients, {elapsed:.2f}s)",
+        f"  artifacts served : {served}",
+        f"  rate             : {rate:9.0f} artifacts/s "
+        f"(bar: >= {HIT_RATE_BAR:.0f})",
+        f"  daemon hits      : {stats['hits']}",
+        f"  daemon computed  : {stats['computed']}",
+    ]
+    path = report_dir / "service_throughput.txt"
+    path.write_text("\n".join(lines) + "\n")
+    print()
+    for line in lines:
+        print(line)
+    assert rate >= HIT_RATE_BAR, (
+        f"warm-hit rate {rate:.0f}/s below the {HIT_RATE_BAR:.0f}/s bar"
+    )
+    # Every serve after warmup must be a cache hit, not a simulation.
+    assert stats["computed"] <= len(requests)
+
+
+def test_service_roundtrip_latency(benchmark, report_dir):
+    """Single-client warm round-trip (submit -> artifact) latency."""
+    daemon, requests = _start_daemon()
+    client = ServiceClient(daemon.url)
+    request = requests[0]
+    client.run(request)  # prime the response cache
+
+    def roundtrip():
+        artifact = client.run(request)
+        assert artifact.fingerprint == request.fingerprint()
+
+    try:
+        benchmark(roundtrip)
+    finally:
+        client.close()
+        daemon.close()

@@ -12,8 +12,12 @@ Commands
 * ``scenarios``  -- workload-mix scenario study (scale-out/mixed/hpc)
 * ``export``     -- dump every figure's data as CSV
 * ``packs``      -- list the registered workload trace packs
+* ``serve``      -- run the shared experiment daemon (HTTP front-end
+  over one orchestrator + store; see ``--service`` below)
 * ``store``      -- result-store maintenance: ``ls``/``gc``/``migrate``
-  /``compact`` documents by pack name, version and sha prefix
+  /``compact`` documents by pack name, version, sha prefix and --
+  for ``gc`` -- age/retention policy (``--older-than``,
+  ``--keep-latest``)
 
 All commands accept ``--scale {small,tiny}``, ``--horizon N`` and
 ``--seed N``; runs are deterministic per seed.  Execution goes through
@@ -32,6 +36,12 @@ Workload selection: ``--pack NAME`` runs a registered trace pack (see
 utilization CSV on the fly.  Pack identity is a content hash folded
 into the run fingerprint, so recorded-CSV experiments resolve from a
 warm ``--store`` exactly like synthetic ones.
+
+Remote execution: ``--service URL`` resolves every run against a
+shared ``repro serve`` daemon instead of in-process -- same analysis
+code, same artifacts, one store and worker pool shared by all clients.
+``--service`` excludes ``--store`` (the store is the daemon's), and
+connection failures exit with a clean error message.
 """
 
 from __future__ import annotations
@@ -64,6 +74,8 @@ from repro.experiments.runner import (
 )
 from repro.experiments.scenarios import format_outcomes, run_scenarios
 from repro.reporting import bar_chart, histogram, series_panel
+from repro.service import ExperimentDaemon, ServiceClient, ServiceError
+from repro.service.client import ServiceRunError
 from repro.sim.config import ExperimentConfig, paper_config, scaled_config
 from repro.sim.metrics import format_comparison, format_replicated_comparison
 from repro.store import (
@@ -74,6 +86,7 @@ from repro.store import (
     list_documents,
     migrate_store,
     open_backend,
+    parse_age,
 )
 from repro.workload.packs import TracePack, available_packs, get_pack
 
@@ -103,30 +116,65 @@ def _progress_printer():
     return report
 
 
-def _orchestrator_from(args: argparse.Namespace) -> Orchestrator:
-    """Build the execution backend the command's flags describe."""
-    root = args.store or os.environ.get(STORE_ENV_VAR)
-    if root:
-        path = pathlib.Path(root)
-        if path.exists() and not path.is_dir():
-            raise SystemExit(f"error: store root {root!r} is not a directory")
-        try:
-            # An explicit --store-backend applies whether the root came
-            # from the flag or from $REPRO_RESULT_STORE.
-            store = ResultStore(path, backend=args.store_backend)
-        except ValueError as error:
-            raise SystemExit(f"error: {error}") from None
-    else:
-        store = ResultStore()
+def _orchestrator_from(args: argparse.Namespace):
+    """Build the execution backend the command's flags describe.
+
+    ``--service URL`` swaps the in-process orchestrator for a
+    :class:`~repro.service.client.ServiceClient` against a running
+    ``repro serve`` daemon -- same futures surface, so every command
+    works unchanged.  The two execution backends are mutually
+    exclusive with ``--store`` (the store lives daemon-side).
+    """
     show_progress = (
         args.progress if args.progress is not None else sys.stderr.isatty()
     )
+    progress = _progress_printer() if show_progress else None
+    if args.service:
+        if args.store:
+            raise SystemExit(
+                "error: --service and --store are mutually exclusive "
+                "(the result store belongs to the daemon; pass --store "
+                "to 'repro serve' instead)"
+            )
+        if args.jobs != 1:
+            raise SystemExit(
+                "error: --jobs has no effect with --service (worker "
+                "capacity is the daemon's; pass --jobs to 'repro serve')"
+            )
+        try:
+            client = ServiceClient(
+                args.service,
+                use_store=not args.no_cache,
+                progress=progress,
+            )
+            client.ping()
+        except ServiceError as error:
+            raise SystemExit(f"error: {error}") from None
+        return client
     return Orchestrator(
-        store=store,
+        store=_open_store(args),
         jobs=args.jobs,
         use_store=not args.no_cache,
-        progress=_progress_printer() if show_progress else None,
+        progress=progress,
     )
+
+
+def _open_store(args: argparse.Namespace) -> ResultStore:
+    """The result store the command's flags describe (memory if none).
+
+    An explicit ``--store-backend`` applies whether the root came from
+    the flag or from ``$REPRO_RESULT_STORE``.
+    """
+    root = args.store or os.environ.get(STORE_ENV_VAR)
+    if not root:
+        return ResultStore()
+    path = pathlib.Path(root)
+    if path.exists() and not path.is_dir():
+        raise SystemExit(f"error: store root {root!r} is not a directory")
+    try:
+        return ResultStore(path, backend=args.store_backend)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
 
 
 def _pack_from(
@@ -318,6 +366,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the shared experiment daemon until interrupted."""
+    store = _open_store(args)
+    if store.root is None:
+        print(
+            "warning: no --store root; serving from a memory-only store "
+            "(results vanish with the daemon)",
+            file=sys.stderr,
+        )
+    orchestrator = Orchestrator(store=store, jobs=args.jobs)
+    daemon = ExperimentDaemon(orchestrator, host=args.host, port=args.port)
+    print(
+        f"repro service listening on {daemon.url} "
+        f"(jobs={orchestrator.jobs}, store="
+        f"{store.root if store.root else 'memory-only'})",
+        file=sys.stderr,
+    )
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    finally:
+        daemon.close()
+    return 0
+
+
 def cmd_packs(args: argparse.Namespace) -> int:
     """List the registered workload trace packs."""
     print(f"{'name':<22} {'kind':<10} {'ver':>3}  sha256")
@@ -375,12 +449,24 @@ def cmd_store_ls(args: argparse.Namespace) -> int:
 
 
 def cmd_store_gc(args: argparse.Namespace) -> int:
-    """Garbage-collect store documents matching the filters."""
+    """Garbage-collect store documents matching the filters.
+
+    Retention flags count as filters: ``--older-than 30d`` collects
+    only documents at least that old, ``--keep-latest N`` spares the
+    N newest documents of every pack name.
+    """
     filters = _store_filters(args)
+    if args.older_than is not None:
+        try:
+            filters["older_than"] = parse_age(args.older_than)
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from None
+    filters["keep_latest"] = args.keep_latest
     if not args.all and not any(v is not None for v in filters.values()):
         raise SystemExit(
             "error: refusing to gc everything; pass a filter "
-            "(--pack/--pack-version/--sha/--fingerprint) or --all"
+            "(--pack/--pack-version/--sha/--fingerprint/--older-than/"
+            "--keep-latest) or --all"
         )
     backend = _store_backend_from(args)
     doomed = collect_garbage(backend, dry_run=args.dry_run, **filters)
@@ -501,6 +587,13 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="PATH",
             help="build a recorded trace pack from a utilization CSV",
         )
+        sub.add_argument(
+            "--service",
+            default=None,
+            metavar="URL",
+            help="resolve runs against a 'repro serve' daemon instead of "
+            "in-process (mutually exclusive with --store)",
+        )
 
     table1 = subparsers.add_parser("table1", help="print Table I")
     add_common(table1)
@@ -547,6 +640,36 @@ def build_parser() -> argparse.ArgumentParser:
         "packs", help="list registered workload trace packs"
     )
     packs.set_defaults(func=cmd_packs)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the shared experiment daemon"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve.add_argument(
+        "--port", type=int, default=8123, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for cache misses (1 = serial)",
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent result-store root (default: $REPRO_RESULT_STORE; "
+        "unset = memory-only)",
+    )
+    serve.add_argument(
+        "--store-backend",
+        default="auto",
+        choices=("auto", *KNOWN_FORMATS),
+        help="store layout for new roots (warm roots auto-detect)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     store = subparsers.add_parser(
         "store", help="result-store maintenance (ls/gc/migrate/compact)"
@@ -596,6 +719,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_store_common(store_gc)
     add_store_filters(store_gc)
     store_gc.add_argument(
+        "--older-than", default=None, metavar="AGE",
+        help="only collect documents at least this old (e.g. 30d, 12h)",
+    )
+    store_gc.add_argument(
+        "--keep-latest", type=int, default=None, metavar="N",
+        help="spare the N newest documents of every pack name",
+    )
+    store_gc.add_argument(
         "--all", action="store_true",
         help="allow collecting with no filters (deletes everything)",
     )
@@ -629,13 +760,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Service-layer failures (daemon unreachable mid-command, a run that
+    failed daemon-side) exit with a clean nonzero status and message
+    instead of a traceback.
+    """
     args = build_parser().parse_args(argv)
     if getattr(args, "seeds", 1) > 1 and args.func is not cmd_compare:
         raise SystemExit(
             "error: --seeds replication applies to the compare command only"
         )
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ServiceError as error:
+        raise SystemExit(f"error: {error}") from None
+    except ServiceRunError as error:
+        raise SystemExit(f"error: run failed on the service: {error}") from None
 
 
 if __name__ == "__main__":

@@ -424,21 +424,58 @@ class Orchestrator:
         """
         if use_store is None:
             use_store = self.use_store
-        fingerprint = request.fingerprint()
+        return self.resolve(request, request.fingerprint(), use_store)
+
+    def resolve(
+        self, request: RunRequest, fingerprint: str, use_store: bool = True
+    ) -> RunFuture:
+        """The submit/dedup core: store lookup, in-flight dedup, launch.
+
+        Shared by the in-process path (:meth:`submit`, which computes
+        the fingerprint itself) and the service daemon
+        (:mod:`repro.service.server`, which receives the fingerprint
+        over the wire and verifies it against the decoded request
+        before calling in) -- both sides therefore apply identical
+        hit/dedup semantics against one store.
+        """
         if use_store:
-            hit = self.store.fetch(fingerprint)
+            hit = self.lookup(request, fingerprint)
             if hit is not None:
-                result, source = hit
-                return RunFuture.resolved(
-                    request,
-                    fingerprint,
-                    RunArtifact(
-                        fingerprint=fingerprint,
-                        result=result,
-                        source=source,
-                        elapsed_s=0.0,
-                    ),
-                )
+                return hit
+        return self.launch(request, fingerprint)
+
+    def lookup(
+        self, request: RunRequest, fingerprint: str
+    ) -> RunFuture | None:
+        """An already-resolved future for a store hit, else None."""
+        hit = self.store.fetch(fingerprint)
+        if hit is None:
+            return None
+        result, source = hit
+        return RunFuture.resolved(
+            request,
+            fingerprint,
+            RunArtifact(
+                fingerprint=fingerprint,
+                result=result,
+                source=source,
+                elapsed_s=0.0,
+            ),
+        )
+
+    def inflight_count(self) -> int:
+        """Number of fingerprints currently executing in the pool."""
+        with self._lock:
+            return len(self._inflight)
+
+    def launch(self, request: RunRequest, fingerprint: str) -> RunFuture:
+        """Execute a miss, bypassing the store lookup.
+
+        Pooled runs (``jobs > 1``) still dedup against in-flight work;
+        serial runs execute inline on the calling thread (callers that
+        can race themselves -- the service daemon -- guard serial
+        launches with their own registry).
+        """
         if self.jobs == 1:
             result, elapsed = _timed_execute(request)
             self.store.put(

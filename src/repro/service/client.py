@@ -1,0 +1,546 @@
+"""Drop-in orchestrator client for a remote experiment daemon.
+
+:class:`ServiceClient` implements the
+:class:`~repro.experiments.orchestrator.Orchestrator` consumer surface
+-- ``submit`` / ``submit_many`` / ``as_done`` / ``as_resolved`` /
+``run`` / ``run_many`` / ``with_jobs`` -- against an
+:class:`~repro.service.server.ExperimentDaemon` URL, so every analysis
+that takes an ``orchestrator=`` parameter (``runner``, ``scenarios``,
+``pareto``, ``sensitivity``, ``lower_bound``) runs remotely with zero
+changes to its logic: the CLI's ``--service URL`` path is exactly
+``orchestrator=ServiceClient(url)``.
+
+Resolution model
+----------------
+
+``submit`` POSTs the encoded request: a ``200`` resolves the returned
+future immediately (store hit or serial run); a ``202`` leaves it
+pending.  Pending futures resolve two ways, whichever happens first:
+
+* :meth:`as_done` / :meth:`as_resolved` open the daemon's streaming
+  endpoint and resolve futures as artifact lines arrive in completion
+  order (one connection for the whole batch -- the wire mirror of the
+  in-process ``as_resolved``);
+* :meth:`RunFuture.result` on an individual pending future falls back
+  to long-polling ``GET /runs/<fingerprint>``.
+
+Both paths funnel through one idempotent resolver, so a stream and a
+poll racing on the same future are benign.  Connection-level failures
+raise :class:`ServiceError` (the CLI maps it to a clean nonzero
+exit); a run that *failed on the daemon* raises a
+:class:`ServiceRunError` carrying the daemon-side message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+from concurrent.futures import Future
+from typing import Callable, Iterable, Iterator, Sequence
+from urllib.parse import quote, urlencode, urlsplit
+
+from repro.experiments.orchestrator import (
+    RunArtifact,
+    RunFuture,
+    RunRequest,
+)
+from repro.service.protocol import (
+    WIRE_VERSION,
+    WireError,
+    decode_artifact,
+    encode_request,
+)
+
+__all__ = ["ServiceClient", "ServiceError", "ServiceRunError"]
+
+#: Seconds of server-side blocking requested per long-poll/stream call.
+_POLL_WAIT_S = 30.0
+
+
+class ServiceError(ConnectionError):
+    """The daemon is unreachable or answered outside the protocol."""
+
+
+class ServiceRunError(RuntimeError):
+    """A run failed on the daemon; carries the daemon-side message."""
+
+
+class ServiceClient:
+    """Resolve run requests against a remote experiment daemon.
+
+    Parameters
+    ----------
+    url:
+        Daemon base URL, e.g. ``http://127.0.0.1:8123``.
+    use_store:
+        Default cache behavior forwarded with every submission
+        (``False`` = the CLI's ``--no-cache``: the daemon resimulates
+        but still records).
+    progress:
+        Optional ``callback(completed, total)`` fired per resolved run
+        of a batch, exactly like the orchestrator's.
+    timeout_s:
+        Socket timeout for individual HTTP calls.  Calls that
+        deliberately block server-side (long-poll, stream) add their
+        ``wait`` on top.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        use_store: bool = True,
+        progress: Callable[[int, int], None] | None = None,
+        timeout_s: float = 10.0,
+    ) -> None:
+        parts = urlsplit(url if "//" in url else f"http://{url}")
+        try:
+            port = parts.port
+        except ValueError:
+            port = None
+            parts = None  # unparseable port
+        if (
+            parts is None
+            or parts.scheme != "http"
+            or not parts.hostname
+            or parts.path.strip("/")
+            or parts.query
+        ):
+            raise ServiceError(
+                f"service URL must look like http://host:port, got {url!r}"
+            )
+        self.url = f"http://{parts.hostname}:{port or 80}"
+        self.host = parts.hostname
+        self.port = port or 80
+        self.use_store = use_store
+        self.progress = progress
+        self.timeout_s = timeout_s
+        self.jobs = 0  # execution capacity lives daemon-side
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._pending: dict[str, Future] = {}
+
+    # -- HTTP plumbing -----------------------------------------------------
+
+    def _connection(self, timeout_s: float) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=timeout_s
+            )
+            connection.connect()
+            # Requests also go out as two sends (headers, body); see
+            # the server handler's disable_nagle_algorithm note.
+            connection.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            self._local.connection = connection
+        else:
+            connection.timeout = timeout_s
+            if connection.sock is not None:
+                connection.sock.settimeout(timeout_s)
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        timeout_s: float | None = None,
+        stream: bool = False,
+    ):
+        """One HTTP exchange; returns ``(status, response)``.
+
+        Keep-alive connections are reused per thread; a request that
+        dies on a stale socket is retried once on a fresh one.
+        Returns the live response object when ``stream`` (caller
+        reads/closes), else ``(status, parsed JSON payload)``.
+        """
+        timeout_s = self.timeout_s if timeout_s is None else timeout_s
+        headers = {"Content-Type": "application/json"}
+        for attempt in (0, 1):
+            try:
+                connection = self._connection(timeout_s)
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                if stream:
+                    return response.status, response
+                payload = json.loads(response.read())
+                if response.will_close:
+                    self._drop_connection()
+                return response.status, payload
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                TimeoutError,
+                OSError,
+                json.JSONDecodeError,
+            ) as error:
+                self._drop_connection()
+                if attempt == 0 and isinstance(
+                    error,
+                    (
+                        http.client.RemoteDisconnected,
+                        BrokenPipeError,
+                        ConnectionResetError,
+                    ),
+                ):
+                    continue  # stale keep-alive socket; retry once
+                raise ServiceError(
+                    f"cannot reach experiment service at {self.url}: "
+                    f"{type(error).__name__}: {error}"
+                ) from None
+        raise AssertionError("unreachable")
+
+    def ping(self) -> dict:
+        """``GET /healthz``; raises :class:`ServiceError` if down."""
+        status, payload = self._request("GET", "/healthz")
+        if status != 200 or payload.get("status") != "ok":
+            raise ServiceError(
+                f"experiment service at {self.url} is unhealthy: "
+                f"HTTP {status} {payload!r}"
+            )
+        return payload
+
+    def stats(self) -> dict:
+        """The daemon's ``/stats`` counters."""
+        status, payload = self._request("GET", "/stats")
+        if status != 200:
+            raise ServiceError(f"/stats answered HTTP {status}")
+        return payload
+
+    # -- future resolution -------------------------------------------------
+
+    def _settle(self, fingerprint: str, payload: dict) -> None:
+        """Resolve the pending future for one terminal payload."""
+        with self._lock:
+            future = self._pending.pop(fingerprint, None)
+        if future is None or future.done():
+            return
+        kind = payload.get("kind")
+        if kind == "run_artifact":
+            try:
+                future.set_result(decode_artifact(payload))
+            except WireError as error:
+                future.set_exception(ServiceError(str(error)))
+        else:
+            future.set_exception(
+                ServiceRunError(
+                    payload.get("error", f"service answered {payload!r}")
+                )
+            )
+
+    def _await(self, fingerprint: str, timeout: float | None) -> None:
+        """Long-poll one fingerprint until it settles (or times out)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        path = f"/runs/{quote(fingerprint)}"
+        while True:
+            with self._lock:
+                if fingerprint not in self._pending:
+                    return  # settled by a concurrent stream/poll
+            wait_s = _POLL_WAIT_S
+            if deadline is not None:
+                wait_s = min(wait_s, deadline - time.monotonic())
+                if wait_s <= 0:
+                    raise TimeoutError(
+                        f"run {fingerprint[:12]}... still pending"
+                    )
+            status, payload = self._request(
+                "GET",
+                f"{path}?wait={wait_s:.3f}",
+                timeout_s=self.timeout_s + wait_s,
+            )
+            if status == 202:
+                continue
+            self._settle(fingerprint, payload)
+            return
+
+    # -- the orchestrator surface ------------------------------------------
+
+    def with_jobs(self, jobs: int) -> "ServiceClient":
+        """No-op for API compatibility: capacity is the daemon's."""
+        return self
+
+    def close(self) -> None:
+        """Drop this thread's keep-alive connection (idempotent)."""
+        self._drop_connection()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def submit(
+        self, request: RunRequest, use_store: bool | None = None
+    ) -> RunFuture:
+        """Submit one request to the daemon.
+
+        Store hits (daemon-side) return an already-resolved future;
+        misses return a pending future that resolves through the
+        streaming endpoint (:meth:`as_done`) or an individual
+        long-poll (:meth:`RunFuture.result`).
+        """
+        if use_store is None:
+            use_store = self.use_store
+        fingerprint = request.fingerprint()
+        with self._lock:
+            pending = self._pending.get(fingerprint)
+        if pending is not None and use_store:
+            return _ClientRunFuture(self, request, fingerprint, pending)
+        if use_store:
+            # Probe by fingerprint before shipping the full request:
+            # a warm hit (or a run already in flight daemon-side)
+            # resolves without uploading the encoded body at all --
+            # which for recorded-trace packs is the whole matrix.
+            probed = self._probe(request, fingerprint)
+            if probed is not None:
+                return probed
+        body = json.dumps(
+            encode_request(request, fingerprint, use_store=use_store)
+        ).encode()
+        status, payload = self._request("POST", "/runs", body=body)
+        future: Future = Future()
+        handle = _ClientRunFuture(self, request, fingerprint, future)
+        if status == 200 and payload.get("kind") == "run_artifact":
+            try:
+                future.set_result(decode_artifact(payload))
+            except WireError as error:
+                raise ServiceError(
+                    f"undecodable artifact from {self.url}: {error}"
+                ) from None
+            return handle
+        if status == 202 and payload.get("kind") == "pending":
+            with self._lock:
+                existing = self._pending.get(fingerprint)
+                if existing is None:
+                    self._pending[fingerprint] = future
+                else:
+                    future = existing
+            return _ClientRunFuture(self, request, fingerprint, future)
+        message = payload.get("error", f"service answered HTTP {status}")
+        if status >= 500:
+            future.set_exception(ServiceRunError(message))
+            return handle
+        raise ServiceError(
+            f"service rejected run {fingerprint[:12]}...: {message}"
+        )
+
+    def _probe(
+        self, request: RunRequest, fingerprint: str
+    ) -> RunFuture | None:
+        """Resolve a submission by fingerprint alone, if the daemon can.
+
+        ``200`` yields a resolved future, ``202`` (already in flight)
+        a registered pending one; anything else -- unknown, or a
+        previously failed run, which a fresh submission should retry
+        -- returns None and the caller POSTs the full request.
+        """
+        status, payload = self._request("GET", f"/runs/{quote(fingerprint)}")
+        if status == 200 and payload.get("kind") == "run_artifact":
+            future: Future = Future()
+            try:
+                future.set_result(decode_artifact(payload))
+            except WireError as error:
+                raise ServiceError(
+                    f"undecodable artifact from {self.url}: {error}"
+                ) from None
+            return _ClientRunFuture(self, request, fingerprint, future)
+        if status == 202 and payload.get("kind") == "pending":
+            with self._lock:
+                future = self._pending.setdefault(fingerprint, Future())
+            return _ClientRunFuture(self, request, fingerprint, future)
+        return None
+
+    def submit_many(
+        self, requests: Sequence[RunRequest], use_store: bool | None = None
+    ) -> list[RunFuture]:
+        """Submit a batch; duplicate fingerprints share one future."""
+        futures: list[RunFuture] = []
+        by_fingerprint: dict[str, RunFuture] = {}
+        for request in requests:
+            fingerprint = request.fingerprint()
+            future = by_fingerprint.get(fingerprint)
+            if future is None:
+                future = self.submit(request, use_store=use_store)
+                by_fingerprint[fingerprint] = future
+            futures.append(future)
+        return futures
+
+    def _notify(self, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(done, total)
+
+    def as_done(
+        self, futures: Iterable[RunFuture], timeout: float | None = None
+    ) -> Iterator[RunFuture]:
+        """Yield unique futures as the daemon completes their runs.
+
+        Resolved futures come first; the rest stream back over one
+        connection per wait round in daemon completion order.
+        """
+        unique = list(dict.fromkeys(futures))
+        total = len(unique)
+        done = 0
+        # Distinct future objects can share one fingerprint (two
+        # submit() calls of the same request); all of them resolve --
+        # and yield -- when that fingerprint settles, mirroring the
+        # in-process as_done over per-call wrapper futures.
+        pending: dict[str, list[RunFuture]] = {}
+        for future in unique:
+            if future.done():
+                done += 1
+                self._notify(done, total)
+                yield future
+            else:
+                pending.setdefault(future.fingerprint, []).append(future)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while pending:
+            wait_s = _POLL_WAIT_S
+            if deadline is not None:
+                wait_s = min(wait_s, deadline - time.monotonic())
+                if wait_s <= 0:
+                    raise TimeoutError(
+                        f"{len(pending)} run(s) still pending"
+                    )
+            for fingerprint in self._stream_settled(
+                list(pending), wait_s
+            ):
+                for future in pending.pop(fingerprint, []):
+                    if future.done():
+                        done += 1
+                        self._notify(done, total)
+                        yield future
+            # Defensive: a future settled by a concurrent poller would
+            # never surface through this round's stream.
+            for fingerprint in [
+                fp
+                for fp, group in pending.items()
+                if group and group[0].done()
+            ]:
+                for future in pending.pop(fingerprint):
+                    done += 1
+                    self._notify(done, total)
+                    yield future
+
+    def _stream_settled(
+        self, fingerprints: list[str], wait_s: float
+    ) -> Iterator[str]:
+        """One streaming round; yields fingerprints it settled."""
+        query = urlencode(
+            [("fp", fp) for fp in fingerprints] + [("wait", f"{wait_s:.3f}")]
+        )
+        status, response = self._request(
+            "GET",
+            f"/runs?{query}",
+            timeout_s=self.timeout_s + wait_s,
+            stream=True,
+        )
+        try:
+            if status != 200:
+                response.read()
+                raise ServiceError(
+                    f"streaming endpoint answered HTTP {status}"
+                )
+            for raw in response:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise ServiceError(
+                        f"undecodable stream line: {error}"
+                    ) from None
+                fingerprint = payload.get("fingerprint", "")
+                if payload.get("kind") == "pending":
+                    continue
+                self._settle(fingerprint, payload)
+                yield fingerprint
+        except (ConnectionError, TimeoutError, OSError) as error:
+            if isinstance(error, ServiceError):
+                raise
+            raise ServiceError(
+                f"stream from {self.url} died: {type(error).__name__}: "
+                f"{error}"
+            ) from None
+        finally:
+            response.close()
+            self._drop_connection()  # stream sockets are close-delimited
+
+    def as_resolved(
+        self, futures: Iterable[RunFuture], timeout: float | None = None
+    ) -> Iterator[RunArtifact]:
+        """Yield artifacts in daemon completion order (errors raise)."""
+        for future in self.as_done(futures, timeout=timeout):
+            yield future.result()
+
+    def run(
+        self, request: RunRequest, use_store: bool | None = None
+    ) -> RunArtifact:
+        """Resolve one request against the daemon, blocking."""
+        return self.submit(request, use_store=use_store).result()
+
+    def run_many(
+        self, requests: Sequence[RunRequest], use_store: bool | None = None
+    ) -> list[RunArtifact]:
+        """Resolve a batch, preserving request order.
+
+        Matches the orchestrator's semantics: duplicates resolve once,
+        completions stream (and persist daemon-side) as they land, and
+        the first failure raises only after every survivor resolved.
+        """
+        futures = self.submit_many(requests, use_store=use_store)
+        first_error: BaseException | None = None
+        for future in self.as_done(futures):
+            error = future.exception()
+            if error is not None:
+                first_error = first_error or error
+        if first_error is not None:
+            raise first_error
+        return [future.result() for future in futures]
+
+
+class _ClientRunFuture(RunFuture):
+    """A :class:`RunFuture` whose pending state lives on the daemon.
+
+    ``result``/``exception`` trigger an individual long-poll when
+    nobody is streaming the batch; everything else (``done``,
+    identity, artifact access) is the inherited behavior.
+    """
+
+    __slots__ = ("_client",)
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        request: RunRequest,
+        fingerprint: str,
+        future: Future,
+    ) -> None:
+        super().__init__(request, fingerprint, future)
+        self._client = client
+
+    def _ensure_resolution(self, timeout: float | None) -> None:
+        if not self._future.done():
+            self._client._await(self.fingerprint, timeout)
+
+    def result(self, timeout: float | None = None) -> RunArtifact:
+        """Block for the artifact, long-polling the daemon if needed."""
+        self._ensure_resolution(timeout)
+        return self._future.result(timeout)
+
+    def exception(
+        self, timeout: float | None = None
+    ) -> BaseException | None:
+        """The run's daemon-side error, or None (blocks like result)."""
+        self._ensure_resolution(timeout)
+        return self._future.exception(timeout)

@@ -1,0 +1,171 @@
+"""Versioned wire envelopes for requests, artifacts and errors.
+
+Every payload the daemon and client exchange is one JSON object with
+two mandatory fields: ``wire_version`` (:data:`WIRE_VERSION`, checked
+on both sides -- a mismatched peer is refused, not guessed at) and
+``kind`` (``run_request`` / ``run_artifact`` / ``pending`` /
+``error``).  Requests additionally carry the client-computed
+fingerprint so the daemon can verify its decode reproduced the exact
+run identity before touching the store; artifacts carry the serialized
+:class:`~repro.sim.results.RunResult` ledger, which round-trips
+bit-identically (the same ``to_dict``/``from_dict`` pair the store
+uses).
+
+The codec (:mod:`repro.service.codec`) handles the object tree inside
+``request``; this module owns the envelopes, so protocol evolution
+(new kinds, new fields) is confined here and versioned explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.experiments.orchestrator import RunArtifact, RunRequest
+from repro.service.codec import CodecError, decode, encode
+from repro.sim.results import RunResult
+
+__all__ = [
+    "FingerprintMismatch",
+    "WIRE_VERSION",
+    "WireError",
+    "decode_artifact",
+    "decode_request",
+    "encode_artifact",
+    "encode_error",
+    "encode_pending",
+    "encode_request",
+]
+
+#: Version of the wire envelopes and the codec's tag scheme.  Bump on
+#: any change an old peer would misread; both sides refuse mismatches.
+WIRE_VERSION = 1
+
+
+class WireError(ValueError):
+    """A payload violates the wire protocol (version, kind, shape)."""
+
+
+class FingerprintMismatch(WireError):
+    """A request's declared fingerprint disagrees with its content.
+
+    Kept distinct from other wire errors because the daemon answers it
+    with ``409 Conflict`` (the payload is well-formed; its *identity*
+    is inconsistent -- almost always client/daemon codec drift).
+    """
+
+
+def _check_envelope(payload: Any, kind: str) -> dict:
+    if not isinstance(payload, dict):
+        raise WireError(f"expected a JSON object, got {type(payload).__name__}")
+    version = payload.get("wire_version")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"wire version mismatch: peer speaks {version!r}, this side "
+            f"speaks {WIRE_VERSION}"
+        )
+    if payload.get("kind") != kind:
+        raise WireError(
+            f"expected a {kind!r} payload, got {payload.get('kind')!r}"
+        )
+    return payload
+
+
+def encode_request(
+    request: RunRequest,
+    fingerprint: str | None = None,
+    use_store: bool = True,
+) -> dict:
+    """The ``POST /runs`` body for ``request``.
+
+    ``fingerprint`` defaults to the request's own; passing a
+    precomputed one saves the client a second canonicalization pass.
+    ``use_store=False`` asks the daemon to resimulate even on a store
+    hit (the ``--no-cache`` path; the result is still recorded).
+    """
+    return {
+        "wire_version": WIRE_VERSION,
+        "kind": "run_request",
+        "fingerprint": fingerprint or request.fingerprint(),
+        "use_store": bool(use_store),
+        "request": encode(request),
+    }
+
+
+def decode_request(payload: Any) -> tuple[RunRequest, str, bool]:
+    """Decode and verify a ``run_request`` payload.
+
+    Returns ``(request, fingerprint, use_store)``.  The declared
+    fingerprint must match the decoded request's own -- a mismatch
+    means codec drift (or a corrupted payload) and is refused before
+    it can poison the store.
+    """
+    payload = _check_envelope(payload, "run_request")
+    declared = payload.get("fingerprint")
+    if not isinstance(declared, str):
+        raise WireError("run_request payload lacks a fingerprint")
+    try:
+        request = decode(payload.get("request"))
+    except CodecError as error:
+        raise WireError(f"undecodable request: {error}") from None
+    if not isinstance(request, RunRequest):
+        raise WireError(
+            f"payload decodes to {type(request).__name__}, not a RunRequest"
+        )
+    actual = request.fingerprint()
+    if actual != declared:
+        raise FingerprintMismatch(
+            f"fingerprint mismatch: payload declares {declared[:12]}..., "
+            f"decoded request hashes to {actual[:12]}... (codec drift?)"
+        )
+    return request, actual, bool(payload.get("use_store", True))
+
+
+def encode_artifact(artifact: RunArtifact) -> dict:
+    """The wire form of a resolved artifact."""
+    return {
+        "wire_version": WIRE_VERSION,
+        "kind": "run_artifact",
+        "fingerprint": artifact.fingerprint,
+        "source": artifact.source,
+        "elapsed_s": artifact.elapsed_s,
+        "result": artifact.result.to_dict(),
+    }
+
+
+def decode_artifact(payload: Any) -> RunArtifact:
+    """Rebuild a :class:`RunArtifact` from its wire form."""
+    payload = _check_envelope(payload, "run_artifact")
+    try:
+        result = RunResult.from_dict(payload["result"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireError(f"undecodable artifact result: {error}") from None
+    return RunArtifact(
+        fingerprint=payload.get("fingerprint", ""),
+        result=result,
+        source=payload.get("source", "service"),
+        elapsed_s=float(payload.get("elapsed_s", 0.0)),
+    )
+
+
+def encode_pending(fingerprint: str) -> dict:
+    """The ``202``/stream payload for a run still executing."""
+    return {
+        "wire_version": WIRE_VERSION,
+        "kind": "pending",
+        "fingerprint": fingerprint,
+    }
+
+
+def encode_error(
+    message: str, fingerprint: str | None = None, status: int = 400
+) -> dict:
+    """An error payload (also used per-line on the stream endpoint)."""
+    payload = {
+        "wire_version": WIRE_VERSION,
+        "kind": "error",
+        "error": message,
+        "status": status,
+    }
+    if fingerprint is not None:
+        payload["fingerprint"] = fingerprint
+    return payload

@@ -1,0 +1,577 @@
+"""The experiment daemon: a threaded stdlib-HTTP front-end.
+
+``repro serve`` runs one :class:`ExperimentDaemon` around one
+long-lived :class:`~repro.experiments.orchestrator.Orchestrator` (and
+therefore one worker pool and one segment-capable result store); any
+number of :class:`~repro.service.client.ServiceClient` processes share
+it.  Endpoints:
+
+``POST /runs``
+    Submit one encoded :class:`RunRequest`.  Store hits answer ``200``
+    with the artifact immediately; misses answer ``202`` (pending) and
+    enter the orchestrator's in-flight dedup table, so overlapping
+    submissions of one fingerprint -- same client or different clients
+    -- execute exactly once.
+``GET /runs/<fingerprint>[?wait=S]``
+    Poll one run.  ``wait`` long-polls up to S seconds (capped at
+    :data:`MAX_WAIT_S`) for completion; replies ``200`` artifact,
+    ``202`` pending, ``404`` unknown, or ``500`` with the run's error.
+``GET /runs?fp=...&fp=...[&wait=S]``
+    Stream the named runs back as JSON lines in *completion* order --
+    the wire mirror of
+    :meth:`~repro.experiments.orchestrator.Orchestrator.as_resolved`.
+    Runs still pending when ``wait`` expires stream a ``pending``
+    line; the client re-polls.
+``GET /healthz`` and ``GET /stats``
+    Liveness, and counters (hits/misses/computed/in-flight/errors plus
+    the store's own counters).
+
+Dedup and the warm fast path
+----------------------------
+
+Fingerprints are self-certifying SHA-256 content hashes, so the warm
+path trusts the one declared in the envelope: if it already resolves
+(response cache, store), the daemon replies without decoding the full
+request -- a client that declares a wrong fingerprint only mis-serves
+itself.  Misses take the strict path: the request is decoded, its
+fingerprint recomputed and verified (``409`` on mismatch), and only
+then does it enter the shared orchestrator core
+(:meth:`~repro.experiments.orchestrator.Orchestrator.resolve`).
+
+Handlers run on per-connection daemon threads
+(``ThreadingHTTPServer``); waits are capped at :data:`MAX_WAIT_S` and
+every write failure (client gone mid-poll) is swallowed, so an
+abandoned connection occupies one thread for at most its ``wait`` and
+never wedges the daemon or the worker that owns the run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ThreadPoolExecutor,
+    wait,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Iterator
+from urllib.parse import parse_qs, urlsplit
+
+from repro.experiments.orchestrator import Orchestrator, RunFuture
+from repro.service.protocol import (
+    FingerprintMismatch,
+    WIRE_VERSION,
+    WireError,
+    decode_request,
+    encode_artifact,
+    encode_error,
+    encode_pending,
+)
+
+__all__ = ["ExperimentDaemon", "MAX_WAIT_S"]
+
+#: Hard cap on a single long-poll/stream wait (seconds).
+MAX_WAIT_S = 60.0
+
+#: Completed artifacts kept pre-encoded for the warm fast path.
+_RESPONSE_CACHE_SIZE = 1024
+
+#: Failed-run messages retained for polls (bounded; a daemon lives
+#: for weeks and failures must not accumulate without limit).
+_ERROR_CACHE_SIZE = 1024
+
+
+class ExperimentDaemon:
+    """One orchestrator served over HTTP to many clients.
+
+    Parameters
+    ----------
+    orchestrator:
+        The shared execution backend (its ``jobs`` and store root are
+        the daemon's capacity and persistence).
+    host / port:
+        Bind address; port 0 picks a free port (see :attr:`address`).
+    """
+
+    def __init__(
+        self,
+        orchestrator: Orchestrator,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.orchestrator = orchestrator
+        self._futures: dict[str, RunFuture] = {}
+        self._errors: OrderedDict[str, str] = OrderedDict()
+        self._responses: OrderedDict[str, bytes] = OrderedDict()
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self.counters = {
+            "requests": 0,
+            "submitted": 0,
+            "hits": 0,
+            "computed": 0,
+            "errors": 0,
+        }
+        handler = _build_handler(self)
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self._server.daemon_threads = True
+        self._thread: threading.Thread | None = None
+        self._serial: ThreadPoolExecutor | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should connect to."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ExperimentDaemon":
+        """Serve in a background thread (idempotent); returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="repro-service",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close`/interrupt."""
+        self._server.serve_forever()
+
+    def _serial_runner(self) -> ThreadPoolExecutor:
+        """Capacity-1 executor for a serial orchestrator's launches."""
+        if self._serial is None:
+            self._serial = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serial-run"
+            )
+        return self._serial
+
+    def close(self) -> None:
+        """Stop serving and shut the orchestrator's pool down."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._serial is not None:
+            self._serial.shutdown(wait=True)
+            self._serial = None
+        self.orchestrator.close()
+
+    def __enter__(self) -> "ExperimentDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _count(self, key: str, delta: int = 1) -> None:
+        with self._lock:
+            self.counters[key] += delta
+
+    def _cache_response(self, fingerprint: str, payload: bytes) -> None:
+        with self._lock:
+            self._responses[fingerprint] = payload
+            self._responses.move_to_end(fingerprint)
+            while len(self._responses) > _RESPONSE_CACHE_SIZE:
+                self._responses.popitem(last=False)
+
+    def _cached_response(self, fingerprint: str) -> bytes | None:
+        with self._lock:
+            payload = self._responses.get(fingerprint)
+            if payload is not None:
+                self._responses.move_to_end(fingerprint)
+            return payload
+
+    def _artifact_bytes(self, future: RunFuture) -> bytes:
+        """Encode a done future's artifact, caching the bytes."""
+        artifact = future.result(timeout=0)
+        payload = json.dumps(encode_artifact(artifact)).encode()
+        self._cache_response(future.fingerprint, payload)
+        return payload
+
+    def _finish(self, fingerprint: str, base: Future) -> None:
+        """Done callback of every miss: counters, errors, registry."""
+        error = base.exception()
+        if error is not None:
+            with self._lock:
+                self._errors[fingerprint] = (
+                    f"{type(error).__name__}: {error}"
+                )
+                self._errors.move_to_end(fingerprint)
+                while len(self._errors) > _ERROR_CACHE_SIZE:
+                    self._errors.popitem(last=False)
+            self._count("errors")
+        else:
+            self._count("computed")
+            with self._lock:
+                # A successful recompute supersedes any stale failure.
+                self._errors.pop(fingerprint, None)
+        with self._lock:
+            self._futures.pop(fingerprint, None)
+
+    # -- request handling (HTTP-free; the handler is a thin shim) ----------
+
+    def handle_submit(self, payload: dict) -> tuple[int, bytes]:
+        """``POST /runs``: returns ``(status, body bytes)``."""
+        self._count("submitted")
+        if not isinstance(payload, dict) or payload.get(
+            "wire_version"
+        ) != WIRE_VERSION or payload.get("kind") != "run_request":
+            # Checked before the warm fast path too: a mismatched peer
+            # must be refused deterministically, not served whenever
+            # its fingerprint happens to be cached.
+            return 400, _dumps(
+                encode_error(
+                    "expected a run_request payload at wire version "
+                    f"{WIRE_VERSION}",
+                    status=400,
+                )
+            )
+        declared = payload.get("fingerprint")
+        use_store = bool(payload.get("use_store", True))
+        if use_store and isinstance(declared, str):
+            cached = self._cached_response(declared)
+            if cached is not None:
+                self._count("hits")
+                return 200, cached
+        try:
+            request, fingerprint, use_store = decode_request(payload)
+        except FingerprintMismatch as error:
+            return 409, _dumps(encode_error(str(error), status=409))
+        except WireError as error:
+            return 400, _dumps(encode_error(str(error), status=400))
+        if use_store:
+            hit = self.orchestrator.lookup(request, fingerprint)
+            if hit is not None:
+                self._count("hits")
+                return 200, self._artifact_bytes(hit)
+        # Miss: claim the fingerprint in the daemon registry *before*
+        # launching, so overlapping submissions -- same client or a
+        # different one, pooled or serial -- park on one run.  (The
+        # orchestrator pool dedups too, but only for jobs > 1; the
+        # registry also backs /runs polls and error reporting.)
+        with self._lock:
+            existing = self._futures.get(fingerprint)
+            if existing is None:
+                wrapper: Future = Future()
+                shared = RunFuture(request, fingerprint, wrapper)
+                self._futures[fingerprint] = shared
+                wrapper.add_done_callback(
+                    lambda base, fp=fingerprint: self._finish(fp, base)
+                )
+        if existing is not None:
+            return 202, _dumps(encode_pending(fingerprint))
+        # A serial orchestrator executes launches inline; running that
+        # on the handler thread would stall the POST for the whole
+        # simulation (longer than any client timeout), so serial
+        # launches move to a capacity-1 runner thread.  Misses answer
+        # 202 unconditionally -- even a launch that fails immediately
+        # reports through poll/stream, keeping the wire contract
+        # deterministic (200 = store hit, 202 = accepted).
+        if self.orchestrator.jobs == 1:
+            def _serial_launch() -> None:
+                try:
+                    done = self.orchestrator.launch(request, fingerprint)
+                except Exception as error:
+                    wrapper.set_exception(error)
+                else:
+                    _chain(done._future, wrapper)
+
+            self._serial_runner().submit(_serial_launch)
+        else:
+            try:
+                launched = self.orchestrator.launch(request, fingerprint)
+            except Exception as error:
+                # e.g. a broken/closed worker pool: the claimed
+                # registry entry must still resolve, or this
+                # fingerprint would answer 202 forever.
+                wrapper.set_exception(error)
+            else:
+                _chain(launched._future, wrapper)
+        return 202, _dumps(encode_pending(fingerprint))
+
+    def _lookup(self, fingerprint: str) -> RunFuture | None:
+        """A future for a fingerprint: in-flight, else store-resolved."""
+        with self._lock:
+            future = self._futures.get(fingerprint)
+        if future is not None:
+            return future
+        hit = self.orchestrator.lookup(None, fingerprint)
+        return hit
+
+    def handle_poll(
+        self, fingerprint: str, wait_s: float
+    ) -> tuple[int, bytes]:
+        """``GET /runs/<fingerprint>``: returns ``(status, body)``."""
+        deadline = time.monotonic() + min(max(wait_s, 0.0), MAX_WAIT_S)
+        while True:
+            future = self._lookup(fingerprint)
+            if future is not None and future.done():
+                if future.exception(timeout=0) is None:
+                    return 200, self._artifact_bytes(future)
+                return 500, _dumps(
+                    encode_error(
+                        self._error_message(future),
+                        fingerprint=fingerprint,
+                        status=500,
+                    )
+                )
+            if future is None:
+                with self._lock:
+                    message = self._errors.get(fingerprint)
+                if message is not None:
+                    return 500, _dumps(
+                        encode_error(
+                            message, fingerprint=fingerprint, status=500
+                        )
+                    )
+                return 404, _dumps(
+                    encode_error(
+                        "unknown fingerprint (not stored, not in flight)",
+                        fingerprint=fingerprint,
+                        status=404,
+                    )
+                )
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return 202, _dumps(encode_pending(fingerprint))
+            try:
+                future.result(timeout=remaining)
+            except FutureTimeoutError:
+                continue
+            except Exception:  # resolved to an error; loop reports it
+                continue
+
+    def handle_stream(
+        self, fingerprints: list[str], wait_s: float
+    ) -> Iterator[bytes]:
+        """``GET /runs?fp=...``: JSON lines in completion order."""
+        deadline = time.monotonic() + min(max(wait_s, 0.0), MAX_WAIT_S)
+        pending: dict[Future, str] = {}
+        for fingerprint in dict.fromkeys(fingerprints):
+            future = self._lookup(fingerprint)
+            if future is None:
+                with self._lock:
+                    message = self._errors.get(fingerprint)
+                if message is not None:
+                    yield _dumps(
+                        encode_error(
+                            message, fingerprint=fingerprint, status=500
+                        )
+                    ) + b"\n"
+                    continue
+                yield _dumps(
+                    encode_error(
+                        "unknown fingerprint (not stored, not in flight)",
+                        fingerprint=fingerprint,
+                        status=404,
+                    )
+                ) + b"\n"
+            elif future.done():
+                yield self._line_for(future)
+            else:
+                pending[future._future] = fingerprint
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                for fingerprint in pending.values():
+                    yield _dumps(encode_pending(fingerprint)) + b"\n"
+                return
+            done_now, _ = wait(
+                pending, timeout=remaining, return_when=FIRST_COMPLETED
+            )
+            for base in done_now:
+                fingerprint = pending.pop(base)
+                yield self._line_for(
+                    RunFuture(None, fingerprint, base)
+                )
+
+    def _error_message(self, future: RunFuture) -> str:
+        """A failed future's message, straight from its exception.
+
+        Waiters can observe a future failed *before* its done
+        callback records the message in ``_errors``, so the future
+        itself is the authoritative source and the registry only a
+        fallback (for runs whose future is long gone).
+        """
+        error = future.exception(timeout=0)
+        if error is not None:
+            return f"{type(error).__name__}: {error}"
+        with self._lock:
+            return self._errors.get(future.fingerprint, "run failed")
+
+    def _line_for(self, future: RunFuture) -> bytes:
+        if future.exception(timeout=0) is None:
+            return self._artifact_bytes(future) + b"\n"
+        return (
+            _dumps(
+                encode_error(
+                    self._error_message(future),
+                    fingerprint=future.fingerprint,
+                    status=500,
+                )
+            )
+            + b"\n"
+        )
+
+    def stats(self) -> dict:
+        """The ``/stats`` payload."""
+        with self._lock:
+            counters = dict(self.counters)
+            inflight = len(self._futures)
+        return {
+            "wire_version": WIRE_VERSION,
+            "kind": "stats",
+            "uptime_s": time.time() - self._started,
+            "jobs": self.orchestrator.jobs,
+            "inflight": max(inflight, self.orchestrator.inflight_count()),
+            "store": self.orchestrator.store.stats(),
+            **counters,
+        }
+
+
+def _dumps(payload: dict) -> bytes:
+    return json.dumps(payload).encode()
+
+
+def _chain(source: Future, target: Future) -> None:
+    """Propagate ``source``'s outcome into ``target`` when it lands."""
+
+    def _copy(done: Future) -> None:
+        error = done.exception()
+        if error is not None:
+            target.set_exception(error)
+        else:
+            target.set_result(done.result())
+
+    source.add_done_callback(_copy)
+
+
+def _build_handler(daemon: ExperimentDaemon) -> type:
+    """The request-handler class bound to one daemon instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        """Routes HTTP requests onto the daemon's handle_* methods."""
+
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-service"
+        # Responses go out as two sends (headers, body); with Nagle on,
+        # the second waits out the peer's delayed ACK (~40 ms per
+        # exchange), capping keep-alive throughput at ~25 req/s.
+        disable_nagle_algorithm = True
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            pass  # endpoint traffic is metered via /stats, not stderr
+
+        # -- plumbing ------------------------------------------------------
+
+        def _reply(self, status: int, body: bytes) -> None:
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            except (BrokenPipeError, ConnectionResetError):
+                self.close_connection = True
+
+        def _reply_stream(self, lines) -> None:
+            try:
+                self.send_response(200)
+                self.send_header("Content-Type", "application/jsonl")
+                self.send_header("Connection", "close")
+                self.end_headers()
+                for line in lines:
+                    self.wfile.write(line)
+                    self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                pass
+            self.close_connection = True
+
+        # -- routes --------------------------------------------------------
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+            daemon._count("requests")
+            parts = urlsplit(self.path)
+            query = parse_qs(parts.query)
+            wait = _float_param(query, "wait", 0.0)
+            path = parts.path.rstrip("/")
+            if path == "/healthz":
+                self._reply(
+                    200,
+                    _dumps(
+                        {
+                            "wire_version": WIRE_VERSION,
+                            "kind": "health",
+                            "status": "ok",
+                        }
+                    ),
+                )
+            elif path == "/stats":
+                self._reply(200, _dumps(daemon.stats()))
+            elif path == "/runs":
+                fingerprints = query.get("fp", [])
+                if not fingerprints:
+                    self._reply(
+                        400,
+                        _dumps(
+                            encode_error(
+                                "streaming GET /runs needs >=1 fp= param",
+                                status=400,
+                            )
+                        ),
+                    )
+                    return
+                self._reply_stream(daemon.handle_stream(fingerprints, wait))
+            elif path.startswith("/runs/"):
+                fingerprint = path[len("/runs/") :]
+                status, body = daemon.handle_poll(fingerprint, wait)
+                self._reply(status, body)
+            else:
+                self._reply(
+                    404, _dumps(encode_error("no such endpoint", status=404))
+                )
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+            daemon._count("requests")
+            path = urlsplit(self.path).path.rstrip("/")
+            if path != "/runs":
+                self._reply(
+                    404, _dumps(encode_error("no such endpoint", status=404))
+                )
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                payload = json.loads(self.rfile.read(length))
+            except (ValueError, json.JSONDecodeError):
+                self._reply(
+                    400,
+                    _dumps(encode_error("malformed JSON body", status=400)),
+                )
+                return
+            status, body = daemon.handle_submit(payload)
+            self._reply(status, body)
+
+    return Handler
+
+
+def _float_param(query: dict, name: str, default: float) -> float:
+    try:
+        return float(query.get(name, [default])[0])
+    except (TypeError, ValueError):
+        return default

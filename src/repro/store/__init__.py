@@ -31,6 +31,7 @@ from repro.store.maintenance import (
     collect_garbage,
     list_documents,
     migrate_store,
+    parse_age,
 )
 from repro.store.segment import INDEX_DTYPE, RECORD_HEADER, SegmentBackend
 from repro.store.sharded import DEFAULT_SHARD, ShardedBackend
@@ -56,5 +57,6 @@ __all__ = [
     "list_documents",
     "migrate_store",
     "open_backend",
+    "parse_age",
     "shard_slug",
 ]

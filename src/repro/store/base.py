@@ -89,6 +89,18 @@ class StoreBackend(Protocol):
     def count(self) -> int:
         """Number of stored documents."""
 
+    def timestamp(self, fingerprint: str) -> float | None:
+        """Best-known write time of a document (unix seconds), or None.
+
+        Backends answer from filesystem metadata: per-file layouts
+        report the document file's mtime exactly; the segment layout
+        reports its segment file's mtime, an *upper bound* on every
+        record in it (a long-lived writer appends to one file, so its
+        records all look as new as the latest append).  Age-based
+        retention therefore never deletes a document that might be
+        newer than claimed -- it can only be conservative.
+        """
+
     def __contains__(self, fingerprint: str) -> bool: ...
 
 

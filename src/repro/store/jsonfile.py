@@ -90,5 +90,12 @@ class JsonFileBackend:
         """Number of stored documents."""
         return sum(1 for _ in self.keys())
 
+    def timestamp(self, fingerprint: str) -> float | None:
+        """The document file's mtime (exact per-document write time)."""
+        try:
+            return self.path_for(fingerprint).stat().st_mtime
+        except OSError:
+            return None
+
     def __contains__(self, fingerprint: str) -> bool:
         return self.path_for(fingerprint).exists()

@@ -1,4 +1,4 @@
-"""Store maintenance: listing, garbage collection and migration.
+"""Store maintenance: listing, gc (with retention policy), migration.
 
 These helpers power the ``repro store`` CLI subcommand.  They operate
 on raw backends (not :class:`~repro.store.core.ResultStore`), so they
@@ -26,10 +26,36 @@ from __future__ import annotations
 
 import json
 import pathlib
+import re
+import time
 from dataclasses import dataclass
 
 from repro.store.base import StoreBackend
 from repro.store.core import open_backend
+
+#: Age-suffix multipliers accepted by :func:`parse_age`.
+_AGE_UNITS = {
+    "s": 1.0,
+    "m": 60.0,
+    "h": 3600.0,
+    "d": 86400.0,
+    "w": 7 * 86400.0,
+}
+
+
+def parse_age(text: str) -> float:
+    """Parse a human age spec (``30d``, ``12h``, ``45m``...) to seconds.
+
+    A bare number means seconds.  Raises ``ValueError`` on anything
+    else -- the gc CLI turns that into a usage error.
+    """
+    match = re.fullmatch(r"\s*(\d+(?:\.\d+)?)\s*([smhdw]?)\s*", str(text))
+    if not match:
+        raise ValueError(
+            f"bad age {text!r}; use <number>[s|m|h|d|w], e.g. 30d or 12h"
+        )
+    value, unit = match.groups()
+    return float(value) * _AGE_UNITS[unit or "s"]
 
 
 @dataclass(frozen=True)
@@ -94,14 +120,76 @@ def list_documents(backend: StoreBackend, **filters) -> list[DocumentInfo]:
 
 
 def collect_garbage(
-    backend: StoreBackend, dry_run: bool = False, **filters
+    backend: StoreBackend,
+    dry_run: bool = False,
+    older_than: float | None = None,
+    keep_latest: int | None = None,
+    now: float | None = None,
+    **filters,
 ) -> list[str]:
-    """Delete (or, with ``dry_run``, just report) matching documents."""
-    doomed = [info.fingerprint for info in list_documents(backend, **filters)]
+    """Delete (or, with ``dry_run``, just report) matching documents.
+
+    Retention policy (applied after the identity filters):
+
+    ``older_than``
+        Only collect documents whose backend timestamp
+        (:meth:`~repro.store.base.StoreBackend.timestamp`) is at least
+        this many seconds before ``now``.  Timestamps are conservative
+        (segment stores report per-segment-file granularity), so a
+        document that *might* be newer is spared; one with no
+        timestamp at all is never age-collected.
+    ``keep_latest``
+        Spare the N newest documents of every pack name (documents
+        without pack meta group under ``None``), newest-first by
+        timestamp, with the backend's replay order
+        (:meth:`~repro.store.base.StoreBackend.keys`) breaking ties --
+        segment stores stamp every record in a segment file with one
+        mtime, but replay their records in append order, so "newest"
+        stays meaningful there too.  Applies on top of ``older_than``:
+        a document must be old enough *and* outside its pack's keep
+        set to go.
+    """
+    matching = list_documents(backend, **filters)
+    if older_than is not None or keep_latest is not None:
+        reference = time.time() if now is None else now
+        stamped = [
+            (info, backend.timestamp(info.fingerprint)) for info in matching
+        ]
+        if keep_latest is not None:
+            replay_rank = {
+                fingerprint: rank
+                for rank, fingerprint in enumerate(backend.keys())
+            }
+            by_pack: dict[str | None, list[tuple[float, int, str]]] = {}
+            for info, stamp in stamped:
+                by_pack.setdefault(info.pack_name, []).append(
+                    (stamp if stamp is not None else float("-inf"),
+                     replay_rank.get(info.fingerprint, -1),
+                     info.fingerprint)
+                )
+            spared: set[str] = set()
+            for group in by_pack.values():
+                group.sort(reverse=True)
+                spared.update(
+                    fp for _, _, fp in group[: max(keep_latest, 0)]
+                )
+            stamped = [
+                (info, stamp)
+                for info, stamp in stamped
+                if info.fingerprint not in spared
+            ]
+        fingerprints = [
+            info.fingerprint
+            for info, stamp in stamped
+            if older_than is None
+            or (stamp is not None and reference - stamp >= older_than)
+        ]
+    else:
+        fingerprints = [info.fingerprint for info in matching]
     if not dry_run:
-        for fingerprint in doomed:
+        for fingerprint in fingerprints:
             backend.delete(fingerprint)
-    return doomed
+    return fingerprints
 
 
 @dataclass(frozen=True)

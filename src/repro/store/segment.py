@@ -342,6 +342,27 @@ class SegmentBackend:
             self._load()
             return len(self._index)
 
+    def timestamp(self, fingerprint: str) -> float | None:
+        """The owning segment file's mtime (an upper bound per record).
+
+        Segment records carry no per-record clock; the segment file's
+        mtime (time of its *latest* append) over-estimates every
+        record's age-relevant write time, so age-based retention stays
+        conservative: a document is only reported old when its whole
+        segment has been quiet that long.
+        """
+        with self._lock:
+            entry = self._index.get(fingerprint)
+            if entry is None:
+                self._load()
+                entry = self._index.get(fingerprint)
+        if entry is None:
+            return None
+        try:
+            return entry[0].stat().st_mtime
+        except OSError:
+            return None
+
     def __contains__(self, fingerprint: str) -> bool:
         with self._lock:
             if fingerprint in self._index:

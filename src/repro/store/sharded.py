@@ -122,5 +122,12 @@ class ShardedBackend:
         """Number of stored documents across all shards."""
         return sum(1 for _ in self.keys())
 
+    def timestamp(self, fingerprint: str) -> float | None:
+        """The owning shard's per-document file mtime."""
+        shard = self._locate(fingerprint)
+        if shard is None:
+            return None
+        return self._shard(shard).timestamp(fingerprint)
+
     def __contains__(self, fingerprint: str) -> bool:
         return self._locate(fingerprint) is not None

@@ -1,0 +1,230 @@
+"""Daemon endpoints: submit/poll/stream semantics over real HTTP."""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.orchestrator import RunRequest
+from repro.service.protocol import WIRE_VERSION, encode_request
+from repro.workload.packs import (
+    RecordedTraceSource,
+    TracePack,
+)
+
+import numpy as np
+
+
+def get(url, path):
+    try:
+        with urllib.request.urlopen(url + path, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def post(url, path, payload):
+    body = json.dumps(payload).encode()
+    request = urllib.request.Request(
+        url + path,
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestHealthAndStats:
+    def test_healthz(self, daemon):
+        status, payload = get(daemon.url, "/healthz")
+        assert status == 200
+        assert payload == {
+            "wire_version": WIRE_VERSION,
+            "kind": "health",
+            "status": "ok",
+        }
+
+    def test_stats_shape(self, daemon):
+        status, payload = get(daemon.url, "/stats")
+        assert status == 200
+        for key in ("submitted", "hits", "computed", "errors", "inflight",
+                    "store", "jobs", "uptime_s"):
+            assert key in payload
+
+    def test_unknown_endpoint_404(self, daemon):
+        status, payload = get(daemon.url, "/nope")
+        assert status == 404
+        assert payload["kind"] == "error"
+
+
+class TestSubmitAndPoll:
+    def test_miss_then_longpoll_then_hit(self, daemon, tiny_requests):
+        request = tiny_requests[0]
+        fingerprint = request.fingerprint()
+        status, payload = post(daemon.url, "/runs", encode_request(request))
+        assert status == 202
+        assert payload["kind"] == "pending"
+        assert payload["fingerprint"] == fingerprint
+
+        status, payload = get(
+            daemon.url, f"/runs/{fingerprint}?wait=30"
+        )
+        assert status == 200
+        assert payload["kind"] == "run_artifact"
+        assert payload["fingerprint"] == fingerprint
+
+        # Resubmission is now an instant store hit.
+        status, payload = post(daemon.url, "/runs", encode_request(request))
+        assert status == 200
+        assert payload["kind"] == "run_artifact"
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            stats = get(daemon.url, "/stats")[1]
+            if stats["computed"] == 1:
+                break
+            time.sleep(0.02)
+        assert stats["computed"] == 1
+        assert stats["hits"] >= 1
+
+    def test_unknown_fingerprint_404(self, daemon):
+        status, payload = get(daemon.url, f"/runs/{'0' * 64}")
+        assert status == 404 or payload["kind"] == "error"
+
+    def test_poll_without_wait_reports_pending(self, daemon, tiny_requests):
+        request = tiny_requests[1]
+        fingerprint = request.fingerprint()
+        status, _ = post(daemon.url, "/runs", encode_request(request))
+        assert status == 202
+        status, payload = get(daemon.url, f"/runs/{fingerprint}")
+        assert status in (200, 202)  # 202 unless the run won the race
+        # Drain so teardown doesn't race the executing run.
+        status, payload = get(daemon.url, f"/runs/{fingerprint}?wait=30")
+        assert status == 200
+
+    def test_malformed_body_400(self, daemon):
+        import http.client
+
+        connection = http.client.HTTPConnection(*daemon.address, timeout=10)
+        connection.request(
+            "POST", "/runs", body=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        assert response.status == 400
+        connection.close()
+
+    def test_version_mismatch_400(self, daemon, tiny_requests):
+        payload = encode_request(tiny_requests[0])
+        payload["wire_version"] = 99
+        status, answer = post(daemon.url, "/runs", payload)
+        assert status == 400
+        assert "version" in answer["error"]
+
+    def test_version_checked_even_on_warm_fingerprints(
+        self, daemon, tiny_requests
+    ):
+        """The warm fast path must not serve a mismatched peer."""
+        request = tiny_requests[0]
+        post(daemon.url, "/runs", encode_request(request))
+        get(daemon.url, f"/runs/{request.fingerprint()}?wait=30")
+        warm = encode_request(request)
+        status, _ = post(daemon.url, "/runs", warm)
+        assert status == 200  # cached
+        bad = dict(warm)
+        bad["wire_version"] = 99
+        status, answer = post(daemon.url, "/runs", bad)
+        assert status == 400
+        assert "wire version" in answer["error"]
+
+    def test_fingerprint_mismatch_409(self, daemon, tiny_requests):
+        payload = encode_request(tiny_requests[0])
+        payload["fingerprint"] = "f" * 64
+        status, answer = post(daemon.url, "/runs", payload)
+        assert status == 409
+        assert "mismatch" in answer["error"]
+
+    def test_failing_run_reports_500(self, daemon_factory, tiny_config):
+        daemon = daemon_factory(jobs=1)
+        # A pack serving 30 steps/slot against a config expecting
+        # tiny's slotting fails inside the engine build -- a genuine
+        # execution-time error on the daemon.
+        pack = TracePack(
+            name="mismatched",
+            source=RecordedTraceSource(
+                utilization=np.full((3, 60), 0.5), steps_per_slot=60
+            ),
+        )
+        from repro.experiments.runner import default_policies
+
+        request = RunRequest(
+            config=tiny_config, policy=default_policies()[0], pack=pack
+        )
+        status, payload = post(daemon.url, "/runs", encode_request(request))
+        assert status == 202  # even serial daemons answer promptly
+        status, payload = get(
+            daemon.url, f"/runs/{request.fingerprint()}?wait=30"
+        )
+        assert status == 500
+        assert payload["kind"] == "error"
+        assert "steps per slot" in payload["error"]
+        # The stream endpoint reports the recorded error too (the run
+        # is neither stored nor in flight by now -- it must not be
+        # misreported as an unknown fingerprint).
+        with urllib.request.urlopen(
+            f"{daemon.url}/runs?fp={request.fingerprint()}", timeout=10
+        ) as response:
+            lines = [json.loads(line) for line in response if line.strip()]
+        assert lines[0]["kind"] == "error"
+        assert lines[0]["status"] == 500
+        assert "steps per slot" in lines[0]["error"]
+        # Counters update in done callbacks, which can trail the poll
+        # that observed the failure by an instant.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            stats = get(daemon.url, "/stats")[1]
+            if stats["errors"] == 1:
+                break
+            time.sleep(0.02)
+        assert stats["errors"] == 1
+
+
+class TestStreamEndpoint:
+    def test_stream_returns_all_in_completion_order(
+        self, daemon, tiny_requests
+    ):
+        fingerprints = []
+        for request in tiny_requests:
+            status, _ = post(daemon.url, "/runs", encode_request(request))
+            assert status in (200, 202)
+            fingerprints.append(request.fingerprint())
+        query = "&".join(f"fp={fp}" for fp in fingerprints)
+        with urllib.request.urlopen(
+            f"{daemon.url}/runs?{query}&wait=60", timeout=90
+        ) as response:
+            lines = [
+                json.loads(line) for line in response if line.strip()
+            ]
+        kinds = {line["kind"] for line in lines}
+        assert kinds == {"run_artifact"}
+        assert {line["fingerprint"] for line in lines} == set(fingerprints)
+
+    def test_stream_requires_fingerprints(self, daemon):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{daemon.url}/runs?wait=1", timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_stream_reports_unknown_fingerprints(self, daemon):
+        with urllib.request.urlopen(
+            f"{daemon.url}/runs?fp={'0' * 64}", timeout=10
+        ) as response:
+            lines = [json.loads(line) for line in response if line.strip()]
+        assert lines[0]["kind"] == "error"
+        assert lines[0]["status"] == 404

@@ -1,0 +1,154 @@
+"""ServiceClient: the drop-in orchestrator surface against a daemon."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.lower_bound import comparison_bounds
+from repro.analysis.pareto import alpha_sweep
+from repro.analysis.sensitivity import sweep_qos
+from repro.experiments.orchestrator import (
+    Orchestrator,
+    ResultStore,
+    RunRequest,
+)
+from repro.experiments.runner import default_policies, run_comparison
+from repro.service import ServiceClient, ServiceError
+from repro.service.client import ServiceRunError
+
+
+class TestConstruction:
+    def test_rejects_non_http_urls(self):
+        with pytest.raises(ServiceError):
+            ServiceClient("ftp://host:1")
+
+    def test_rejects_bad_port_and_paths_cleanly(self):
+        with pytest.raises(ServiceError, match="http://host:port"):
+            ServiceClient("http://127.0.0.1:80x0")
+        with pytest.raises(ServiceError, match="http://host:port"):
+            ServiceClient("http://127.0.0.1:8123/prefix")
+
+    def test_bare_host_port_accepted(self, daemon):
+        host, port = daemon.address
+        client = ServiceClient(f"{host}:{port}")
+        assert client.ping()["status"] == "ok"
+
+    def test_unreachable_daemon(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout_s=0.5)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.ping()
+
+    def test_with_jobs_is_identity(self, client):
+        assert client.with_jobs(8) is client
+
+
+class TestSubmission:
+    def test_submit_resolves_to_artifact(self, client, tiny_requests):
+        future = client.submit(tiny_requests[0])
+        artifact = future.result(timeout=60)
+        assert artifact.fingerprint == tiny_requests[0].fingerprint()
+        assert future.done()
+        assert future.exception(timeout=0) is None
+
+    def test_second_submit_is_store_hit(self, client, tiny_requests):
+        client.submit(tiny_requests[0]).result(timeout=60)
+        future = client.submit(tiny_requests[0])
+        assert future.done()  # instant reply, no polling needed
+        assert future.result().from_cache
+
+    def test_submit_many_shares_duplicates(self, client, tiny_requests):
+        request = tiny_requests[0]
+        futures = client.submit_many([request, request, request])
+        assert len(futures) == 3
+        assert len({f.fingerprint for f in futures}) == 1
+        artifacts = [f.result(timeout=60) for f in futures]
+        assert client.stats()["computed"] == 1
+        assert len({a.fingerprint for a in artifacts}) == 1
+
+    def test_as_done_yields_every_distinct_future(
+        self, client, tiny_requests
+    ):
+        """Two submit() calls of one request both yield, like in-process."""
+        request = tiny_requests[0]
+        first = client.submit(request)
+        second = client.submit(request)
+        assert first is not second
+        yielded = list(client.as_done([first, second]))
+        assert set(yielded) == {first, second}
+        assert all(f.done() for f in yielded)
+
+    def test_run_many_matches_inprocess_bit_for_bit(
+        self, client, tiny_requests, tmp_path
+    ):
+        remote = client.run_many(tiny_requests)
+        local = Orchestrator(
+            store=ResultStore(tmp_path / "local")
+        ).run_many(tiny_requests)
+        for over_wire, in_process in zip(remote, local):
+            assert over_wire.fingerprint == in_process.fingerprint
+            assert json.dumps(
+                over_wire.result.to_dict(), sort_keys=True
+            ) == json.dumps(in_process.result.to_dict(), sort_keys=True)
+
+    def test_as_resolved_streams_all(self, client, tiny_requests):
+        futures = client.submit_many(tiny_requests)
+        artifacts = list(client.as_resolved(futures))
+        assert {a.fingerprint for a in artifacts} == {
+            r.fingerprint() for r in tiny_requests
+        }
+
+    def test_progress_callback_fires(self, daemon, tiny_requests):
+        seen = []
+        client = ServiceClient(
+            daemon.url, progress=lambda done, total: seen.append((done, total))
+        )
+        client.run_many(tiny_requests[:2])
+        assert seen[-1] == (2, 2)
+        assert [done for done, _ in seen] == sorted(done for done, _ in seen)
+
+    def test_failed_run_raises_service_run_error(self, daemon_factory, tiny_config):
+        import numpy as np
+
+        from repro.workload.packs import RecordedTraceSource, TracePack
+
+        daemon = daemon_factory(jobs=1)
+        client = ServiceClient(daemon.url)
+        pack = TracePack(
+            name="mismatched",
+            source=RecordedTraceSource(
+                utilization=np.full((3, 60), 0.5), steps_per_slot=60
+            ),
+        )
+        request = RunRequest(
+            config=tiny_config, policy=default_policies()[0], pack=pack
+        )
+        with pytest.raises(ServiceRunError, match="steps per slot"):
+            client.run(request)
+
+
+class TestAnalysisConsumers:
+    """The analysis layer takes a ServiceClient verbatim."""
+
+    def test_run_comparison(self, client, tiny_config):
+        results = run_comparison(tiny_config, orchestrator=client)
+        assert [r.policy_name for r in results] == [
+            "Proposed", "Ener-aware", "Pri-aware", "Net-aware",
+        ]
+
+    def test_alpha_sweep(self, client, tiny_config):
+        points = alpha_sweep(tiny_config, (0.3, 0.7), orchestrator=client)
+        assert [p.alpha for p in points] == [0.3, 0.7]
+
+    def test_sweep_qos(self, client, tiny_config):
+        rows = sweep_qos(
+            tiny_config, qos_levels=(0.98, 0.95), orchestrator=client
+        )
+        assert [row.value for row in rows] == [0.98, 0.95]
+
+    def test_comparison_bounds(self, client, tiny_config):
+        bounds = comparison_bounds(tiny_config, orchestrator=client)
+        assert len(bounds) == 4
+        for result, bound in bounds:
+            assert bound.total_cost_eur <= bound.actual_cost_eur + 1e-9

@@ -423,3 +423,78 @@ class TestEnvStoreRoot:
         assert main(["compare", "--scale", "tiny", "--horizon", "2",
                      "--store-backend", "segment"]) == 0
         assert list(store.glob("segments/*.seg"))
+
+
+class TestServiceFlags:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8123
+        assert args.jobs == 1
+        assert args.store is None
+
+    def test_service_flag_default_off(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.service is None
+
+    def test_service_and_store_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(
+                ["compare", "--scale", "tiny", "--horizon", "2",
+                 "--service", "http://127.0.0.1:1",
+                 "--store", str(tmp_path / "store")]
+            )
+
+    def test_unreachable_service_is_clean_usage_error(self):
+        """Connection failures exit nonzero with a message, no traceback."""
+        with pytest.raises(SystemExit, match="cannot reach") as excinfo:
+            main(["compare", "--scale", "tiny", "--horizon", "2",
+                  "--service", "http://127.0.0.1:9"])
+        assert excinfo.value.code != 0
+
+    def test_commands_run_against_live_daemon(self, capsys, tmp_path):
+        from repro.experiments.orchestrator import Orchestrator, ResultStore
+        from repro.service import ExperimentDaemon
+
+        store_root = tmp_path / "daemon-store"
+        daemon = ExperimentDaemon(
+            Orchestrator(store=ResultStore(store_root, backend="segment"),
+                         jobs=2)
+        ).start()
+        try:
+            argv = ["compare", "--scale", "tiny", "--horizon", "2",
+                    "--service", daemon.url, "--no-progress"]
+            assert main(argv) == 0
+            remote = capsys.readouterr().out
+            assert "Proposed" in remote
+            assert main(["compare", "--scale", "tiny", "--horizon", "2",
+                         "--no-progress"]) == 0
+            assert capsys.readouterr().out == remote
+            # The daemon's own store holds the four comparison runs.
+            assert main(["store", "ls", "--store", str(store_root)]) == 0
+            assert "4 document(s)" in capsys.readouterr().out
+        finally:
+            daemon.close()
+
+    def test_daemon_death_mid_command_is_clean_error(self, tmp_path):
+        """A daemon that dies after the health check exits cleanly too."""
+        from repro.experiments.orchestrator import Orchestrator, ResultStore
+        from repro.service import ExperimentDaemon, ServiceClient
+        from repro.service.client import ServiceError
+
+        daemon = ExperimentDaemon(Orchestrator(store=ResultStore())).start()
+        url = daemon.url
+        daemon.close()
+        client = ServiceClient(url, timeout_s=0.5)
+        with pytest.raises(ServiceError, match="cannot reach"):
+            client.ping()
+
+    def test_service_and_jobs_mutually_exclusive(self):
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["compare", "--scale", "tiny", "--horizon", "2",
+                  "--service", "http://127.0.0.1:1", "--jobs", "4"])
+
+    def test_bad_service_url_is_clean_usage_error(self):
+        with pytest.raises(SystemExit, match="http"):
+            main(["compare", "--scale", "tiny", "--horizon", "2",
+                  "--service", "http://127.0.0.1:80x0"])

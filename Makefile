@@ -4,8 +4,11 @@
 #   make bench-smoke - tiny-scale benchmark suite: orchestrator fan-out,
 #                      result-store warm hits, store-backend write/read/
 #                      scan (per-file vs sharded vs segment), the
-#                      experiment-service warm-hit throughput (8
-#                      concurrent clients vs one daemon), the engine's
+#                      experiment-service warm wire throughput (8
+#                      concurrent clients vs one daemon: batched +
+#                      gzip + headline-projected submit_many vs the
+#                      single-POST v1 shape -> BENCH_service.json),
+#                      the engine's
 #                      per-slot hot paths, the fleet-batched
 #                      slot-physics kernel (bench_green) and the
 #                      data-correlation generation (loop vs vectorized)

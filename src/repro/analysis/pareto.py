@@ -65,6 +65,8 @@ def alpha_sweep(
     orchestrator = orchestrator or default_orchestrator()
     if jobs != 1:
         orchestrator = orchestrator.with_jobs(jobs)
+    # Pareto points read only headline aggregates (cost, energy, p99),
+    # so a remote orchestrator may ship the projected artifact form.
     artifacts = orchestrator.run_many(
         [
             RunRequest(
@@ -75,7 +77,8 @@ def alpha_sweep(
                 pack=pack,
             )
             for alpha in alphas
-        ]
+        ],
+        detail="headline",
     )
     return [
         ParetoPoint(

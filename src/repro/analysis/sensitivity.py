@@ -64,8 +64,11 @@ def _run_grid(
     # *position*, not fingerprint -- two sweep points can collapse to
     # one fingerprint (e.g. battery scales over a zero-battery fleet)
     # yet still deserve their own labeled rows.
+    # Sweep rows read only headline aggregates, so a remote
+    # orchestrator may ship the projected artifact form.
     artifacts = orchestrator.run_many(
-        grid_requests(configs, lambda _: [ProposedPolicy()], pack=pack)
+        grid_requests(configs, lambda _: [ProposedPolicy()], pack=pack),
+        detail="headline",
     )
     return [
         _row_from(artifact.result, parameter, value)

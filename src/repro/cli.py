@@ -376,7 +376,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     orchestrator = Orchestrator(store=store, jobs=args.jobs)
-    daemon = ExperimentDaemon(orchestrator, host=args.host, port=args.port)
+    daemon = ExperimentDaemon(
+        orchestrator,
+        host=args.host,
+        port=args.port,
+        max_body_bytes=args.max_body_mb << 20,
+    )
     print(
         f"repro service listening on {daemon.url} "
         f"(jobs={orchestrator.jobs}, store="
@@ -668,6 +673,14 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         choices=("auto", *KNOWN_FORMATS),
         help="store layout for new roots (warm roots auto-detect)",
+    )
+    serve.add_argument(
+        "--max-body-mb",
+        type=int,
+        default=64,
+        metavar="MB",
+        help="reject request bodies larger than this with HTTP 413 "
+        "(encoded recorded-trace packs are the big legitimate payload)",
     )
     serve.set_defaults(func=cmd_serve)
 

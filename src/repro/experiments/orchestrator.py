@@ -207,9 +207,18 @@ class RunRequest:
         }
 
     def fingerprint(self) -> str:
-        """SHA-256 hex digest keying this run in the result store."""
-        blob = json.dumps(self.descriptor(), sort_keys=True)
-        return hashlib.sha256(blob.encode()).hexdigest()
+        """SHA-256 hex digest keying this run in the result store.
+
+        Memoized: requests are value-stable once built (the orchestrator
+        and wire layers hash, dedupe and poll by fingerprint many times
+        per request), so the canonical descriptor walk runs once.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            blob = json.dumps(self.descriptor(), sort_keys=True)
+            cached = hashlib.sha256(blob.encode()).hexdigest()
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
 
 def run_meta(request: RunRequest) -> dict:
@@ -410,7 +419,10 @@ class Orchestrator:
     # -- the futures API ---------------------------------------------------
 
     def submit(
-        self, request: RunRequest, use_store: bool | None = None
+        self,
+        request: RunRequest,
+        use_store: bool | None = None,
+        detail: str | None = None,
     ) -> RunFuture:
         """Resolve one request asynchronously.
 
@@ -421,6 +433,12 @@ class Orchestrator:
         marked done.  With ``jobs == 1`` the miss executes inline and
         errors propagate from ``submit`` itself, preserving the serial
         fail-fast behavior.
+
+        ``detail`` is accepted for interface parity with
+        :class:`~repro.service.client.ServiceClient` (where
+        ``headline`` trims the wire payload) and ignored here: the
+        result already sits in local memory, so there is nothing to
+        project away.
         """
         if use_store is None:
             use_store = self.use_store
@@ -548,9 +566,16 @@ class Orchestrator:
             self._inflight.pop(fingerprint, None)
 
     def submit_many(
-        self, requests: Sequence[RunRequest], use_store: bool | None = None
+        self,
+        requests: Sequence[RunRequest],
+        use_store: bool | None = None,
+        detail: str | None = None,
     ) -> list[RunFuture]:
-        """Submit a batch; duplicates share one future (simulated once)."""
+        """Submit a batch; duplicates share one future (simulated once).
+
+        ``detail`` is accepted for service-client parity and ignored
+        in-process (see :meth:`submit`).
+        """
         futures: list[RunFuture] = []
         by_fingerprint: dict[str, RunFuture] = {}
         for request in requests:
@@ -616,13 +641,19 @@ class Orchestrator:
     # -- batch conveniences ------------------------------------------------
 
     def run(
-        self, request: RunRequest, use_store: bool | None = None
+        self,
+        request: RunRequest,
+        use_store: bool | None = None,
+        detail: str | None = None,
     ) -> RunArtifact:
         """Resolve one request (store lookup, else simulate + record)."""
         return self.submit(request, use_store=use_store).result()
 
     def run_many(
-        self, requests: Sequence[RunRequest], use_store: bool | None = None
+        self,
+        requests: Sequence[RunRequest],
+        use_store: bool | None = None,
+        detail: str | None = None,
     ) -> list[RunArtifact]:
         """Resolve a batch of requests, preserving order.
 
@@ -633,9 +664,12 @@ class Orchestrator:
         (and counted toward progress) before the first error
         re-raises.  ``use_store=False`` skips the lookup (every
         request simulates) but still records results; ``None`` defers
-        to the orchestrator's default.
+        to the orchestrator's default.  ``detail`` is accepted for
+        service-client parity and ignored in-process.
         """
-        futures = self.submit_many(requests, use_store=use_store)
+        futures = self.submit_many(
+            requests, use_store=use_store, detail=detail
+        )
         first_error: BaseException | None = None
         for future in self.as_done(futures):
             error = future.exception()

@@ -93,7 +93,11 @@ def run_comparison(
     requests = grid_requests(
         [config], lambda _: default_policies(alpha), pack=pack
     )
-    artifacts = orchestrator.run_many(requests, use_store=use_cache)
+    # Comparison results feed figures and tables that walk the full
+    # ledger, so the service path must ship it -- no projection.
+    artifacts = orchestrator.run_many(
+        requests, use_store=use_cache, detail="full"
+    )
     return [artifact.result for artifact in artifacts]
 
 
@@ -118,7 +122,7 @@ def run_replicated_comparison(
     requests = grid_requests(
         [config], lambda _: default_policies(alpha), seeds=list(seeds), pack=pack
     )
-    artifacts = orchestrator.run_many(requests)
+    artifacts = orchestrator.run_many(requests, detail="full")
     replicates: dict[str, list[RunResult]] = {}
     for artifact in artifacts:
         replicates.setdefault(artifact.result.policy_name, []).append(

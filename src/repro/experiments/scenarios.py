@@ -114,7 +114,9 @@ def run_scenarios(
     # The whole (scenario x policy) grid resolves as one futures batch
     # (progress streams per completion); artifacts come back in
     # request order, so each scenario's slice is positional.
-    artifacts = orchestrator.run_many(requests)
+    # Outcomes read only headline aggregates (costs, energy, p99), so
+    # a remote orchestrator may ship the projected artifact form.
+    artifacts = orchestrator.run_many(requests, detail="headline")
     n_policies = len(default_policies(alpha))
     outcomes = []
     for index, scenario in enumerate(scenarios):

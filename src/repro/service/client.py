@@ -15,24 +15,51 @@ Resolution model
 
 ``submit`` POSTs the encoded request: a ``200`` resolves the returned
 future immediately (store hit or serial run); a ``202`` leaves it
-pending.  Pending futures resolve two ways, whichever happens first:
+pending.  ``submit_many`` against a v2 daemon settles warm work in two
+chunked phases -- a fingerprint-only ``POST /runs/poll`` (warm hits
+resolve without uploading encoded bodies at all), then ``POST
+/runs/batch`` for the remainder -- so a 1k-run sweep costs ~tens of
+HTTP round trips instead of ~1k.  Pending futures then resolve two
+ways, whichever happens first:
 
-* :meth:`as_done` / :meth:`as_resolved` open the daemon's streaming
-  endpoint and resolve futures as artifact lines arrive in completion
-  order (one connection for the whole batch -- the wire mirror of the
-  in-process ``as_resolved``);
+* :meth:`as_done` / :meth:`as_resolved` multiplex settlement over
+  batch-aware long-polls (``POST /runs/poll``, falling back to the v1
+  streaming GET) and resolve futures as artifact lines arrive in
+  completion order;
 * :meth:`RunFuture.result` on an individual pending future falls back
   to long-polling ``GET /runs/<fingerprint>``.
 
 Both paths funnel through one idempotent resolver, so a stream and a
-poll racing on the same future are benign.  Connection-level failures
-raise :class:`ServiceError` (the CLI maps it to a clean nonzero
-exit); a run that *failed on the daemon* raises a
-:class:`ServiceRunError` carrying the daemon-side message.
+poll racing on the same future are benign.
+
+Wire negotiation
+----------------
+
+The client speaks wire v2 (gzip response bodies via
+``Accept-Encoding``, gzip request bodies, batch endpoints, ``detail``
+projections) but interoperates with v1 daemons: ``ping`` reads the
+daemon's advertised ``supported_wire_versions`` (absent on v1 ->
+``[1]``) and pins the common version; an unnegotiated ``submit``
+refused with a version-mismatch error downgrades once and retries.
+Against a v1 daemon the client behaves exactly like its v1 self:
+per-request POSTs, identity encoding, full detail.
+
+``detail="headline"`` artifacts decode to
+:class:`~repro.sim.results.HeadlineResult` projections that lazily
+fetch the full ledger over the wire only when a consumer asks for
+something beyond the headline block.
+
+Connection-level failures raise :class:`ServiceError` (the CLI maps
+it to a clean nonzero exit); a run that *failed on the daemon* raises
+a :class:`ServiceRunError` carrying the daemon-side message.  A
+request that dies on a stale keep-alive socket (the daemon closes
+idle connections server-side) is retried once on a fresh connection
+before any error surfaces.
 """
 
 from __future__ import annotations
 
+import gzip
 import http.client
 import json
 import socket
@@ -48,16 +75,45 @@ from repro.experiments.orchestrator import (
     RunRequest,
 )
 from repro.service.protocol import (
+    SUPPORTED_WIRE_VERSIONS,
     WIRE_VERSION,
     WireError,
+    check_detail,
     decode_artifact,
+    encode_batch,
+    encode_poll,
     encode_request,
 )
+from repro.sim.results import RunResult
 
 __all__ = ["ServiceClient", "ServiceError", "ServiceRunError"]
 
 #: Seconds of server-side blocking requested per long-poll/stream call.
 _POLL_WAIT_S = 30.0
+
+#: Fingerprints per ``POST /runs/poll`` chunk (fingerprint-only lines
+#: are ~100 bytes each, so 512 keeps bodies well under a TCP window).
+_POLL_CHUNK = 512
+
+#: Encoded requests per ``POST /runs/batch`` chunk.  Entries carry the
+#: full encoded request (for recorded packs, the whole matrix), so
+#: batches chunk far smaller than polls.
+_BATCH_CHUNK = 64
+
+#: Request bodies below this stay identity even when compression is
+#: on: gzip's header overhead and CPU beat nothing out of tiny JSON.
+_COMPRESS_MIN_BYTES = 1024
+
+#: Exceptions that mean "the keep-alive socket went stale under us"
+#: (e.g. the daemon's idle reaper closed it between requests); the
+#: request is retried once on a fresh connection.
+_STALE_SOCKET_ERRORS = (
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    http.client.IncompleteRead,
+    BrokenPipeError,
+    ConnectionResetError,
+)
 
 
 class ServiceError(ConnectionError):
@@ -86,6 +142,13 @@ class ServiceClient:
         Socket timeout for individual HTTP calls.  Calls that
         deliberately block server-side (long-poll, stream) add their
         ``wait`` on top.
+    detail:
+        Default artifact projection (``full`` or ``headline``) for
+        submissions that do not name one.  Headline artifacts carry
+        only the aggregate metrics block and lazily upgrade.
+    compress:
+        Negotiate gzip on responses (``Accept-Encoding``) and gzip
+        large request bodies once the daemon is known to speak v2.
     """
 
     def __init__(
@@ -94,6 +157,8 @@ class ServiceClient:
         use_store: bool = True,
         progress: Callable[[int, int], None] | None = None,
         timeout_s: float = 10.0,
+        detail: str = "full",
+        compress: bool = True,
     ) -> None:
         parts = urlsplit(url if "//" in url else f"http://{url}")
         try:
@@ -117,7 +182,11 @@ class ServiceClient:
         self.use_store = use_store
         self.progress = progress
         self.timeout_s = timeout_s
+        self.detail = check_detail(detail)
+        self.compress = compress
         self.jobs = 0  # execution capacity lives daemon-side
+        self.wire_version = WIRE_VERSION
+        self._negotiated = False
         self._local = threading.local()
         self._lock = threading.Lock()
         self._pending: dict[str, Future] = {}
@@ -156,16 +225,32 @@ class ServiceClient:
         body: bytes | None = None,
         timeout_s: float | None = None,
         stream: bool = False,
+        jsonl: bool = False,
     ):
         """One HTTP exchange; returns ``(status, response)``.
 
         Keep-alive connections are reused per thread; a request that
         dies on a stale socket is retried once on a fresh one.
         Returns the live response object when ``stream`` (caller
-        reads/closes), else ``(status, parsed JSON payload)``.
+        reads/closes); a ``(status, [payload, ...])`` list of parsed
+        JSON lines when ``jsonl``; else ``(status, parsed payload)``.
+        Response bodies arriving ``Content-Encoding: gzip`` are
+        inflated transparently; request bodies above
+        :data:`_COMPRESS_MIN_BYTES` are gzipped once the daemon has
+        been confirmed to speak wire v2.
         """
         timeout_s = self.timeout_s if timeout_s is None else timeout_s
         headers = {"Content-Type": "application/json"}
+        if self.compress:
+            headers["Accept-Encoding"] = "gzip"
+            if (
+                body is not None
+                and len(body) >= _COMPRESS_MIN_BYTES
+                and self._negotiated
+                and self.wire_version >= 2
+            ):
+                body = gzip.compress(body, compresslevel=6)
+                headers["Content-Encoding"] = "gzip"
         for attempt in (0, 1):
             try:
                 connection = self._connection(timeout_s)
@@ -173,10 +258,18 @@ class ServiceClient:
                 response = connection.getresponse()
                 if stream:
                     return response.status, response
-                payload = json.loads(response.read())
+                raw = response.read()
+                if response.getheader("Content-Encoding") == "gzip":
+                    raw = gzip.decompress(raw)
                 if response.will_close:
                     self._drop_connection()
-                return response.status, payload
+                if jsonl:
+                    return response.status, [
+                        json.loads(line)
+                        for line in raw.splitlines()
+                        if line.strip()
+                    ]
+                return response.status, json.loads(raw)
             except (
                 http.client.HTTPException,
                 ConnectionError,
@@ -186,12 +279,7 @@ class ServiceClient:
             ) as error:
                 self._drop_connection()
                 if attempt == 0 and isinstance(
-                    error,
-                    (
-                        http.client.RemoteDisconnected,
-                        BrokenPipeError,
-                        ConnectionResetError,
-                    ),
+                    error, _STALE_SOCKET_ERRORS
                 ):
                     continue  # stale keep-alive socket; retry once
                 raise ServiceError(
@@ -201,14 +289,43 @@ class ServiceClient:
         raise AssertionError("unreachable")
 
     def ping(self) -> dict:
-        """``GET /healthz``; raises :class:`ServiceError` if down."""
+        """``GET /healthz``; raises :class:`ServiceError` if down.
+
+        Also pins the wire version: the daemon advertises what it
+        accepts (v1 daemons advertise nothing, meaning ``[1]``) and
+        the client speaks the highest version both sides share.
+        """
         status, payload = self._request("GET", "/healthz")
         if status != 200 or payload.get("status") != "ok":
             raise ServiceError(
                 f"experiment service at {self.url} is unhealthy: "
                 f"HTTP {status} {payload!r}"
             )
+        self._adopt_wire_version(payload)
         return payload
+
+    def _adopt_wire_version(self, payload: dict) -> None:
+        advertised = payload.get("supported_wire_versions")
+        if not isinstance(advertised, list) or not advertised:
+            advertised = [payload.get("wire_version", 1)]
+        common = [
+            version
+            for version in SUPPORTED_WIRE_VERSIONS
+            if version in advertised
+        ]
+        if not common:
+            raise ServiceError(
+                f"no common wire version with {self.url}: daemon "
+                f"accepts {advertised}, client {SUPPORTED_WIRE_VERSIONS}"
+            )
+        self.wire_version = max(common)
+        self._negotiated = True
+
+    def _ensure_negotiated(self) -> bool:
+        """Pin the wire version if not yet done; True = v2 available."""
+        if not self._negotiated:
+            self.ping()
+        return self.wire_version >= 2
 
     def stats(self) -> dict:
         """The daemon's ``/stats`` counters."""
@@ -219,6 +336,33 @@ class ServiceClient:
 
     # -- future resolution -------------------------------------------------
 
+    def _full_fetcher(self, fingerprint: str) -> Callable[[], RunResult]:
+        """The lazy headline->full upgrade: one ``detail=full`` GET."""
+
+        def fetch() -> RunResult:
+            status, payload = self._request(
+                "GET",
+                f"/runs/{quote(fingerprint)}?v={WIRE_VERSION}&detail=full",
+            )
+            if status == 200 and payload.get("kind") == "run_artifact":
+                try:
+                    return decode_artifact(payload).result
+                except WireError as error:
+                    raise ServiceError(
+                        f"undecodable artifact from {self.url}: {error}"
+                    ) from None
+            raise ServiceError(
+                f"cannot upgrade headline run {fingerprint[:12]}... to "
+                f"full detail: HTTP {status}"
+            )
+
+        return fetch
+
+    def _decode(self, fingerprint: str, payload: dict) -> RunArtifact:
+        return decode_artifact(
+            payload, fetch_full=self._full_fetcher(fingerprint)
+        )
+
     def _settle(self, fingerprint: str, payload: dict) -> None:
         """Resolve the pending future for one terminal payload."""
         with self._lock:
@@ -228,7 +372,7 @@ class ServiceClient:
         kind = payload.get("kind")
         if kind == "run_artifact":
             try:
-                future.set_result(decode_artifact(payload))
+                future.set_result(self._decode(fingerprint, payload))
             except WireError as error:
                 future.set_exception(ServiceError(str(error)))
         else:
@@ -238,10 +382,22 @@ class ServiceClient:
                 )
             )
 
-    def _await(self, fingerprint: str, timeout: float | None) -> None:
+    def _poll_path(self, fingerprint: str, detail: str) -> str:
+        path = f"/runs/{quote(fingerprint)}"
+        if self.wire_version >= 2:
+            return f"{path}?v={self.wire_version}&detail={detail}"
+        return path
+
+    def _await(
+        self,
+        fingerprint: str,
+        timeout: float | None,
+        detail: str = "full",
+    ) -> None:
         """Long-poll one fingerprint until it settles (or times out)."""
         deadline = None if timeout is None else time.monotonic() + timeout
-        path = f"/runs/{quote(fingerprint)}"
+        path = self._poll_path(fingerprint, detail)
+        joiner = "&" if "?" in path else "?"
         while True:
             with self._lock:
                 if fingerprint not in self._pending:
@@ -255,7 +411,7 @@ class ServiceClient:
                     )
             status, payload = self._request(
                 "GET",
-                f"{path}?wait={wait_s:.3f}",
+                f"{path}{joiner}wait={wait_s:.3f}",
                 timeout_s=self.timeout_s + wait_s,
             )
             if status == 202:
@@ -279,40 +435,69 @@ class ServiceClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def _resolve_detail(self, detail: str | None) -> str:
+        detail = self.detail if detail is None else check_detail(detail)
+        if self.wire_version < 2:
+            return "full"  # v1 daemons know only the full ledger
+        return detail
+
     def submit(
-        self, request: RunRequest, use_store: bool | None = None
+        self,
+        request: RunRequest,
+        use_store: bool | None = None,
+        detail: str | None = None,
     ) -> RunFuture:
         """Submit one request to the daemon.
 
         Store hits (daemon-side) return an already-resolved future;
         misses return a pending future that resolves through the
-        streaming endpoint (:meth:`as_done`) or an individual
-        long-poll (:meth:`RunFuture.result`).
+        batch-aware poll (:meth:`as_done`) or an individual long-poll
+        (:meth:`RunFuture.result`).
         """
         if use_store is None:
             use_store = self.use_store
+        detail = self._resolve_detail(detail)
         fingerprint = request.fingerprint()
         with self._lock:
             pending = self._pending.get(fingerprint)
         if pending is not None and use_store:
-            return _ClientRunFuture(self, request, fingerprint, pending)
+            return _ClientRunFuture(
+                self, request, fingerprint, pending, detail
+            )
         if use_store:
             # Probe by fingerprint before shipping the full request:
             # a warm hit (or a run already in flight daemon-side)
             # resolves without uploading the encoded body at all --
             # which for recorded-trace packs is the whole matrix.
-            probed = self._probe(request, fingerprint)
+            probed = self._probe(request, fingerprint, detail)
             if probed is not None:
                 return probed
         body = json.dumps(
-            encode_request(request, fingerprint, use_store=use_store)
+            encode_request(
+                request,
+                fingerprint,
+                use_store=use_store,
+                wire_version=self.wire_version,
+                detail=detail,
+            )
         ).encode()
         status, payload = self._request("POST", "/runs", body=body)
+        if (
+            status == 400
+            and not self._negotiated
+            and self.wire_version > 1
+            and "wire version" in str(payload.get("error", ""))
+        ):
+            # An old daemon refused the v2 envelope: pin v1 and retry
+            # (the one-shot downgrade mirror of ping()'s negotiation).
+            self.wire_version = 1
+            self._negotiated = True
+            return self.submit(request, use_store=use_store)
         future: Future = Future()
-        handle = _ClientRunFuture(self, request, fingerprint, future)
+        handle = _ClientRunFuture(self, request, fingerprint, future, detail)
         if status == 200 and payload.get("kind") == "run_artifact":
             try:
-                future.set_result(decode_artifact(payload))
+                future.set_result(self._decode(fingerprint, payload))
             except WireError as error:
                 raise ServiceError(
                     f"undecodable artifact from {self.url}: {error}"
@@ -325,7 +510,9 @@ class ServiceClient:
                     self._pending[fingerprint] = future
                 else:
                     future = existing
-            return _ClientRunFuture(self, request, fingerprint, future)
+            return _ClientRunFuture(
+                self, request, fingerprint, future, detail
+            )
         message = payload.get("error", f"service answered HTTP {status}")
         if status >= 500:
             future.set_exception(ServiceRunError(message))
@@ -335,7 +522,7 @@ class ServiceClient:
         )
 
     def _probe(
-        self, request: RunRequest, fingerprint: str
+        self, request: RunRequest, fingerprint: str, detail: str
     ) -> RunFuture | None:
         """Resolve a submission by fingerprint alone, if the daemon can.
 
@@ -343,27 +530,156 @@ class ServiceClient:
         a registered pending one; anything else -- unknown, or a
         previously failed run, which a fresh submission should retry
         -- returns None and the caller POSTs the full request.
+        (Query params are ignored by v1 daemons, so the probe needs
+        no version negotiation: the reply envelope self-identifies.)
         """
-        status, payload = self._request("GET", f"/runs/{quote(fingerprint)}")
+        status, payload = self._request(
+            "GET", self._poll_path(fingerprint, detail)
+        )
         if status == 200 and payload.get("kind") == "run_artifact":
             future: Future = Future()
             try:
-                future.set_result(decode_artifact(payload))
+                future.set_result(self._decode(fingerprint, payload))
             except WireError as error:
                 raise ServiceError(
                     f"undecodable artifact from {self.url}: {error}"
                 ) from None
-            return _ClientRunFuture(self, request, fingerprint, future)
+            return _ClientRunFuture(
+                self, request, fingerprint, future, detail
+            )
         if status == 202 and payload.get("kind") == "pending":
             with self._lock:
                 future = self._pending.setdefault(fingerprint, Future())
-            return _ClientRunFuture(self, request, fingerprint, future)
+            return _ClientRunFuture(
+                self, request, fingerprint, future, detail
+            )
         return None
 
     def submit_many(
-        self, requests: Sequence[RunRequest], use_store: bool | None = None
+        self,
+        requests: Sequence[RunRequest],
+        use_store: bool | None = None,
+        detail: str | None = None,
     ) -> list[RunFuture]:
-        """Submit a batch; duplicate fingerprints share one future."""
+        """Submit a batch; duplicate fingerprints share one future.
+
+        Against a v2 daemon this costs ~``len(requests)/chunk`` round
+        trips: one fingerprint-only poll pass settles warm hits
+        without uploading encoded bodies, then the remainder ship in
+        chunked ``POST /runs/batch`` calls.  Against a v1 daemon it
+        falls back to the per-request :meth:`submit` loop.
+        """
+        if use_store is None:
+            use_store = self.use_store
+        if not self._ensure_negotiated():
+            return self._submit_many_v1(requests, use_store)
+        detail = self._resolve_detail(detail)
+        order: list[str] = []
+        handles: dict[str, RunFuture] = {}
+        fresh: dict[str, RunRequest] = {}
+        for request in requests:
+            fingerprint = request.fingerprint()
+            order.append(fingerprint)
+            if fingerprint in handles or fingerprint in fresh:
+                continue
+            pending = None
+            if use_store:
+                with self._lock:
+                    pending = self._pending.get(fingerprint)
+            if pending is not None:
+                handles[fingerprint] = _ClientRunFuture(
+                    self, request, fingerprint, pending, detail
+                )
+            else:
+                fresh[fingerprint] = request
+        need_post = list(fresh)
+        if use_store and fresh:
+            # Phase 1: settle what the daemon already has by
+            # fingerprint alone (the chunked mirror of _probe).
+            need_post = []
+            for fingerprint, payload in self._poll_batch(
+                list(fresh), detail
+            ):
+                request = fresh.get(fingerprint)
+                if request is None:
+                    continue
+                kind = payload.get("kind")
+                if kind == "run_artifact":
+                    handles[fingerprint] = self._resolved_handle(
+                        request, fingerprint, payload, detail
+                    )
+                elif kind == "pending":
+                    handles[fingerprint] = self._pending_handle(
+                        request, fingerprint, detail
+                    )
+                else:
+                    # Unknown (404) or previously failed (500): a
+                    # fresh submission retries, like single submit.
+                    need_post.append(fingerprint)
+        # Phase 2: ship the rest in chunked batch POSTs.
+        for chunk in _chunked(need_post, _BATCH_CHUNK):
+            entries = [
+                encode_request(
+                    fresh[fingerprint],
+                    fingerprint,
+                    use_store=use_store,
+                    detail=detail,
+                )
+                for fingerprint in chunk
+            ]
+            body = json.dumps(encode_batch(entries, detail=detail)).encode()
+            status, payloads = self._request(
+                "POST", "/runs/batch", body=body, jsonl=True
+            )
+            if status != 200:
+                message = (
+                    payloads[0].get("error", "") if payloads else ""
+                )
+                raise ServiceError(
+                    f"batch endpoint answered HTTP {status}: {message}"
+                )
+            for payload in payloads:
+                fingerprint = payload.get("fingerprint", "")
+                request = fresh.get(fingerprint)
+                if request is None or fingerprint in handles:
+                    continue
+                kind = payload.get("kind")
+                if kind == "run_artifact":
+                    handles[fingerprint] = self._resolved_handle(
+                        request, fingerprint, payload, detail
+                    )
+                elif kind == "pending":
+                    handles[fingerprint] = self._pending_handle(
+                        request, fingerprint, detail
+                    )
+                elif int(payload.get("status", 500)) >= 500:
+                    failed: Future = Future()
+                    failed.set_exception(
+                        ServiceRunError(
+                            payload.get("error", "run failed")
+                        )
+                    )
+                    handles[fingerprint] = _ClientRunFuture(
+                        self, request, fingerprint, failed, detail
+                    )
+                else:
+                    raise ServiceError(
+                        f"service rejected run {fingerprint[:12]}...: "
+                        f"{payload.get('error', payload)!r}"
+                    )
+        # Entries a misbehaving daemon failed to answer resolve via
+        # the individual long-poll rather than KeyError-ing here.
+        for fingerprint in fresh:
+            if fingerprint not in handles:
+                handles[fingerprint] = self._pending_handle(
+                    fresh[fingerprint], fingerprint, detail
+                )
+        return [handles[fingerprint] for fingerprint in order]
+
+    def _submit_many_v1(
+        self, requests: Sequence[RunRequest], use_store: bool
+    ) -> list[RunFuture]:
+        """The v1 path: one :meth:`submit` per distinct fingerprint."""
         futures: list[RunFuture] = []
         by_fingerprint: dict[str, RunFuture] = {}
         for request in requests:
@@ -375,6 +691,48 @@ class ServiceClient:
             futures.append(future)
         return futures
 
+    def _resolved_handle(
+        self,
+        request: RunRequest,
+        fingerprint: str,
+        payload: dict,
+        detail: str,
+    ) -> RunFuture:
+        future: Future = Future()
+        try:
+            future.set_result(self._decode(fingerprint, payload))
+        except WireError as error:
+            raise ServiceError(
+                f"undecodable artifact from {self.url}: {error}"
+            ) from None
+        return _ClientRunFuture(self, request, fingerprint, future, detail)
+
+    def _pending_handle(
+        self, request: RunRequest, fingerprint: str, detail: str
+    ) -> RunFuture:
+        with self._lock:
+            future = self._pending.setdefault(fingerprint, Future())
+        return _ClientRunFuture(self, request, fingerprint, future, detail)
+
+    def _poll_batch(
+        self, fingerprints: list[str], detail: str
+    ) -> Iterator[tuple[str, dict]]:
+        """Chunked no-wait ``POST /runs/poll``; yields (fp, payload)."""
+        for chunk in _chunked(fingerprints, _POLL_CHUNK):
+            body = json.dumps(encode_poll(chunk, 0.0, detail)).encode()
+            status, payloads = self._request(
+                "POST", "/runs/poll", body=body, jsonl=True
+            )
+            if status != 200:
+                message = (
+                    payloads[0].get("error", "") if payloads else ""
+                )
+                raise ServiceError(
+                    f"poll endpoint answered HTTP {status}: {message}"
+                )
+            for payload in payloads:
+                yield payload.get("fingerprint", ""), payload
+
     def _notify(self, done: int, total: int) -> None:
         if self.progress is not None:
             self.progress(done, total)
@@ -384,8 +742,9 @@ class ServiceClient:
     ) -> Iterator[RunFuture]:
         """Yield unique futures as the daemon completes their runs.
 
-        Resolved futures come first; the rest stream back over one
-        connection per wait round in daemon completion order.
+        Resolved futures come first; the rest settle over batch-aware
+        long-poll rounds (one connection per round, daemon completion
+        order), falling back to the v1 streaming GET.
         """
         unique = list(dict.fromkeys(futures))
         total = len(unique)
@@ -402,6 +761,7 @@ class ServiceClient:
                 yield future
             else:
                 pending.setdefault(future.fingerprint, []).append(future)
+        use_v2 = bool(pending) and self._ensure_negotiated()
         deadline = None if timeout is None else time.monotonic() + timeout
         while pending:
             wait_s = _POLL_WAIT_S
@@ -411,9 +771,26 @@ class ServiceClient:
                     raise TimeoutError(
                         f"{len(pending)} run(s) still pending"
                     )
-            for fingerprint in self._stream_settled(
-                list(pending), wait_s
-            ):
+            if use_v2:
+                # Futures for one fingerprint share a detail level by
+                # construction; across fingerprints the round polls at
+                # the richest level any waiter needs (a full ledger
+                # satisfies a headline waiter; not vice versa).
+                round_detail = (
+                    "full"
+                    if any(
+                        getattr(f, "_detail", "full") == "full"
+                        for group in pending.values()
+                        for f in group
+                    )
+                    else "headline"
+                )
+                settled = self._poll_settled(
+                    list(pending), wait_s, round_detail
+                )
+            else:
+                settled = self._stream_settled(list(pending), wait_s)
+            for fingerprint in settled:
                 for future in pending.pop(fingerprint, []):
                     if future.done():
                         done += 1
@@ -431,10 +808,48 @@ class ServiceClient:
                     self._notify(done, total)
                     yield future
 
+    def _poll_settled(
+        self, fingerprints: list[str], wait_s: float, detail: str
+    ) -> Iterator[str]:
+        """One batch-poll round; yields fingerprints it settled.
+
+        The first chunk long-polls (streamed JSONL in completion
+        order); follow-up chunks are no-wait buffered polls, so one
+        round costs ``ceil(n/chunk)`` exchanges but blocks only once.
+        """
+        for index, chunk in enumerate(_chunked(fingerprints, _POLL_CHUNK)):
+            chunk_wait = wait_s if index == 0 else 0.0
+            body = json.dumps(
+                encode_poll(chunk, chunk_wait, detail)
+            ).encode()
+            if chunk_wait > 0:
+                status, response = self._request(
+                    "POST",
+                    "/runs/poll",
+                    body=body,
+                    timeout_s=self.timeout_s + chunk_wait,
+                    stream=True,
+                )
+                yield from self._consume_stream(status, response)
+            else:
+                status, payloads = self._request(
+                    "POST", "/runs/poll", body=body, jsonl=True
+                )
+                if status != 200:
+                    raise ServiceError(
+                        f"poll endpoint answered HTTP {status}"
+                    )
+                for payload in payloads:
+                    if payload.get("kind") == "pending":
+                        continue
+                    fingerprint = payload.get("fingerprint", "")
+                    self._settle(fingerprint, payload)
+                    yield fingerprint
+
     def _stream_settled(
         self, fingerprints: list[str], wait_s: float
     ) -> Iterator[str]:
-        """One streaming round; yields fingerprints it settled."""
+        """One v1 streaming round; yields fingerprints it settled."""
         query = urlencode(
             [("fp", fp) for fp in fingerprints] + [("wait", f"{wait_s:.3f}")]
         )
@@ -444,6 +859,10 @@ class ServiceClient:
             timeout_s=self.timeout_s + wait_s,
             stream=True,
         )
+        yield from self._consume_stream(status, response)
+
+    def _consume_stream(self, status: int, response) -> Iterator[str]:
+        """Settle futures off a live JSONL response (close-delimited)."""
         try:
             if status != 200:
                 response.read()
@@ -484,13 +903,21 @@ class ServiceClient:
             yield future.result()
 
     def run(
-        self, request: RunRequest, use_store: bool | None = None
+        self,
+        request: RunRequest,
+        use_store: bool | None = None,
+        detail: str | None = None,
     ) -> RunArtifact:
         """Resolve one request against the daemon, blocking."""
-        return self.submit(request, use_store=use_store).result()
+        return self.submit(
+            request, use_store=use_store, detail=detail
+        ).result()
 
     def run_many(
-        self, requests: Sequence[RunRequest], use_store: bool | None = None
+        self,
+        requests: Sequence[RunRequest],
+        use_store: bool | None = None,
+        detail: str | None = None,
     ) -> list[RunArtifact]:
         """Resolve a batch, preserving request order.
 
@@ -498,7 +925,9 @@ class ServiceClient:
         completions stream (and persist daemon-side) as they land, and
         the first failure raises only after every survivor resolved.
         """
-        futures = self.submit_many(requests, use_store=use_store)
+        futures = self.submit_many(
+            requests, use_store=use_store, detail=detail
+        )
         first_error: BaseException | None = None
         for future in self.as_done(futures):
             error = future.exception()
@@ -509,15 +938,22 @@ class ServiceClient:
         return [future.result() for future in futures]
 
 
+def _chunked(items: list, size: int) -> Iterator[list]:
+    for start in range(0, len(items), size):
+        yield items[start : start + size]
+
+
 class _ClientRunFuture(RunFuture):
     """A :class:`RunFuture` whose pending state lives on the daemon.
 
     ``result``/``exception`` trigger an individual long-poll when
     nobody is streaming the batch; everything else (``done``,
-    identity, artifact access) is the inherited behavior.
+    identity, artifact access) is the inherited behavior.  The detail
+    level it was submitted at rides along so individual long-polls
+    ask for the same projection the batch paths would.
     """
 
-    __slots__ = ("_client",)
+    __slots__ = ("_client", "_detail")
 
     def __init__(
         self,
@@ -525,13 +961,15 @@ class _ClientRunFuture(RunFuture):
         request: RunRequest,
         fingerprint: str,
         future: Future,
+        detail: str = "full",
     ) -> None:
         super().__init__(request, fingerprint, future)
         self._client = client
+        self._detail = detail
 
     def _ensure_resolution(self, timeout: float | None) -> None:
         if not self._future.done():
-            self._client._await(self.fingerprint, timeout)
+            self._client._await(self.fingerprint, timeout, self._detail)
 
     def result(self, timeout: float | None = None) -> RunArtifact:
         """Block for the artifact, long-polling the daemon if needed."""

@@ -1,15 +1,31 @@
 """Versioned wire envelopes for requests, artifacts and errors.
 
 Every payload the daemon and client exchange is one JSON object with
-two mandatory fields: ``wire_version`` (:data:`WIRE_VERSION`, checked
-on both sides -- a mismatched peer is refused, not guessed at) and
-``kind`` (``run_request`` / ``run_artifact`` / ``pending`` /
-``error``).  Requests additionally carry the client-computed
+two mandatory fields: ``wire_version`` and ``kind`` (``run_request`` /
+``run_artifact`` / ``pending`` / ``error`` / ``run_batch`` /
+``run_poll``).  Requests additionally carry the client-computed
 fingerprint so the daemon can verify its decode reproduced the exact
-run identity before touching the store; artifacts carry the serialized
-:class:`~repro.sim.results.RunResult` ledger, which round-trips
-bit-identically (the same ``to_dict``/``from_dict`` pair the store
-uses).
+run identity before touching the store; artifacts carry either the
+serialized :class:`~repro.sim.results.RunResult` ledger
+(``detail=full``, round-tripping bit-identically -- the same
+``to_dict``/``from_dict`` pair the store uses) or the headline
+projection (``detail=headline``,
+:meth:`~repro.sim.results.RunResult.headline`).
+
+Version-skew rules
+------------------
+
+:data:`WIRE_VERSION` is what this side *speaks*;
+:data:`SUPPORTED_WIRE_VERSIONS` is what it *accepts*.  Wire v2 added
+the batch/poll kinds, the ``detail`` field and compression
+negotiation; v1 envelopes are a strict subset of v2, so a v2 peer
+serves v1 traffic by answering with envelopes at the request's own
+version (full detail, single-request endpoints only).  A v1 peer
+refuses v2 envelopes with a version-mismatch error, which the client
+uses to negotiate down (see
+:meth:`~repro.service.client.ServiceClient.ping`).  Payload kinds a
+version does not know must never be sent to it -- batch and poll
+envelopes are v2-only.
 
 The codec (:mod:`repro.service.codec`) handles the object tree inside
 ``request``; this module owns the envelopes, so protocol evolution
@@ -18,27 +34,40 @@ The codec (:mod:`repro.service.codec`) handles the object tree inside
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.experiments.orchestrator import RunArtifact, RunRequest
 from repro.service.codec import CodecError, decode, encode
-from repro.sim.results import RunResult
+from repro.sim.results import HeadlineResult, RunResult
 
 __all__ = [
+    "DETAIL_LEVELS",
     "FingerprintMismatch",
+    "SUPPORTED_WIRE_VERSIONS",
     "WIRE_VERSION",
     "WireError",
     "decode_artifact",
+    "decode_batch",
+    "decode_poll",
     "decode_request",
     "encode_artifact",
+    "encode_batch",
     "encode_error",
     "encode_pending",
+    "encode_poll",
     "encode_request",
 ]
 
-#: Version of the wire envelopes and the codec's tag scheme.  Bump on
-#: any change an old peer would misread; both sides refuse mismatches.
-WIRE_VERSION = 1
+#: Version of the wire envelopes and the codec's tag scheme this side
+#: speaks by default.  Bump on any change an old peer would misread.
+WIRE_VERSION = 2
+
+#: Versions this side accepts from a peer.  v1 lacks batch/poll kinds,
+#: ``detail`` and compression; v1 peers are answered in v1 envelopes.
+SUPPORTED_WIRE_VERSIONS = (1, 2)
+
+#: Artifact projection levels a client may request (v2 only).
+DETAIL_LEVELS = ("headline", "full")
 
 
 class WireError(ValueError):
@@ -58,10 +87,10 @@ def _check_envelope(payload: Any, kind: str) -> dict:
     if not isinstance(payload, dict):
         raise WireError(f"expected a JSON object, got {type(payload).__name__}")
     version = payload.get("wire_version")
-    if version != WIRE_VERSION:
+    if version not in SUPPORTED_WIRE_VERSIONS:
         raise WireError(
             f"wire version mismatch: peer speaks {version!r}, this side "
-            f"speaks {WIRE_VERSION}"
+            f"accepts {SUPPORTED_WIRE_VERSIONS}"
         )
     if payload.get("kind") != kind:
         raise WireError(
@@ -70,29 +99,48 @@ def _check_envelope(payload: Any, kind: str) -> dict:
     return payload
 
 
+def check_detail(detail: Any) -> str:
+    """Validate a ``detail`` field; returns it (default ``full``)."""
+    if detail is None:
+        return "full"
+    if detail not in DETAIL_LEVELS:
+        raise WireError(
+            f"unknown detail level {detail!r}; choose from {DETAIL_LEVELS}"
+        )
+    return detail
+
+
 def encode_request(
     request: RunRequest,
     fingerprint: str | None = None,
     use_store: bool = True,
+    wire_version: int = WIRE_VERSION,
+    detail: str = "full",
 ) -> dict:
-    """The ``POST /runs`` body for ``request``.
+    """The ``POST /runs`` body (and batch entry) for ``request``.
 
     ``fingerprint`` defaults to the request's own; passing a
     precomputed one saves the client a second canonicalization pass.
     ``use_store=False`` asks the daemon to resimulate even on a store
     hit (the ``--no-cache`` path; the result is still recorded).
+    ``wire_version`` lets a client negotiated down to a v1 daemon
+    keep submitting (a v1 envelope carries no ``detail`` field and is
+    answered at full detail).
     """
-    return {
-        "wire_version": WIRE_VERSION,
+    payload = {
+        "wire_version": wire_version,
         "kind": "run_request",
         "fingerprint": fingerprint or request.fingerprint(),
         "use_store": bool(use_store),
         "request": encode(request),
     }
+    if wire_version >= 2:
+        payload["detail"] = check_detail(detail)
+    return payload
 
 
 def decode_request(payload: Any) -> tuple[RunRequest, str, bool]:
-    """Decode and verify a ``run_request`` payload.
+    """Decode and verify a ``run_request`` payload (any supported version).
 
     Returns ``(request, fingerprint, use_store)``.  The declared
     fingerprint must match the decoded request's own -- a mismatch
@@ -120,25 +168,61 @@ def decode_request(payload: Any) -> tuple[RunRequest, str, bool]:
     return request, actual, bool(payload.get("use_store", True))
 
 
-def encode_artifact(artifact: RunArtifact) -> dict:
-    """The wire form of a resolved artifact."""
-    return {
-        "wire_version": WIRE_VERSION,
+def encode_artifact(
+    artifact: RunArtifact,
+    detail: str = "full",
+    wire_version: int = WIRE_VERSION,
+) -> dict:
+    """The wire form of a resolved artifact.
+
+    ``detail=full`` ships the complete ledger under ``result`` (the
+    only form v1 knows); ``detail=headline`` ships the headline
+    projection under ``headline`` instead -- v2 only.
+    """
+    payload = {
+        "wire_version": wire_version,
         "kind": "run_artifact",
         "fingerprint": artifact.fingerprint,
         "source": artifact.source,
         "elapsed_s": artifact.elapsed_s,
-        "result": artifact.result.to_dict(),
     }
+    if wire_version >= 2:
+        payload["detail"] = check_detail(detail)
+    if detail == "headline":
+        if wire_version < 2:
+            raise WireError("detail=headline needs wire version >= 2")
+        payload["headline"] = artifact.result.headline()
+    else:
+        payload["result"] = artifact.result.to_dict()
+    return payload
 
 
-def decode_artifact(payload: Any) -> RunArtifact:
-    """Rebuild a :class:`RunArtifact` from its wire form."""
+def decode_artifact(
+    payload: Any, fetch_full: Callable[[], RunResult] | None = None
+) -> RunArtifact:
+    """Rebuild a :class:`RunArtifact` from its wire form.
+
+    ``detail=headline`` payloads decode to an artifact carrying a
+    :class:`~repro.sim.results.HeadlineResult`; ``fetch_full`` (the
+    service client supplies a per-fingerprint fetcher) is what lets
+    that projection lazily upgrade to the full ledger on demand.
+    """
     payload = _check_envelope(payload, "run_artifact")
-    try:
-        result = RunResult.from_dict(payload["result"])
-    except (KeyError, TypeError, ValueError) as error:
-        raise WireError(f"undecodable artifact result: {error}") from None
+    detail = check_detail(payload.get("detail"))
+    if detail == "headline":
+        headline = payload.get("headline")
+        if not isinstance(headline, dict):
+            raise WireError("headline artifact lacks a headline block")
+        result: RunResult | HeadlineResult = HeadlineResult(
+            headline, fetch_full=fetch_full
+        )
+    else:
+        try:
+            result = RunResult.from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise WireError(
+                f"undecodable artifact result: {error}"
+            ) from None
     return RunArtifact(
         fingerprint=payload.get("fingerprint", ""),
         result=result,
@@ -147,21 +231,93 @@ def decode_artifact(payload: Any) -> RunArtifact:
     )
 
 
-def encode_pending(fingerprint: str) -> dict:
-    """The ``202``/stream payload for a run still executing."""
+def encode_batch(entries: list[dict], detail: str = "full") -> dict:
+    """The ``POST /runs/batch`` body: encoded requests + one detail.
+
+    ``entries`` are :func:`encode_request` envelopes (each carries its
+    own ``use_store`` flag); the daemon answers one JSON line per
+    entry (artifact / pending / error), in entry order, so a whole
+    sweep submits in one round trip.
+    """
     return {
         "wire_version": WIRE_VERSION,
+        "kind": "run_batch",
+        "detail": check_detail(detail),
+        "entries": entries,
+    }
+
+
+def decode_batch(payload: Any) -> tuple[list[dict], str]:
+    """Validate a batch envelope; returns ``(entries, detail)``.
+
+    Entries are validated individually by the submit path (each is a
+    full ``run_request`` envelope) -- this checks only the batch
+    framing, so one malformed entry poisons its own disposition line,
+    not the whole batch.
+    """
+    payload = _check_envelope(payload, "run_batch")
+    entries = payload.get("entries")
+    if not isinstance(entries, list) or not entries:
+        raise WireError("run_batch payload needs a non-empty entries list")
+    return entries, check_detail(payload.get("detail"))
+
+
+def encode_poll(
+    fingerprints: list[str],
+    wait_s: float = 0.0,
+    detail: str = "full",
+) -> dict:
+    """The ``POST /runs/poll`` body: settle many runs in one call.
+
+    The body-borne fingerprint list replaces the v1 query-string
+    (``GET /runs?fp=...``), which URL length caps at a few hundred
+    fingerprints.  ``wait=0`` answers in one (compressible) body;
+    ``wait>0`` long-poll streams JSON lines in completion order.
+    """
+    return {
+        "wire_version": WIRE_VERSION,
+        "kind": "run_poll",
+        "fingerprints": list(fingerprints),
+        "wait": float(wait_s),
+        "detail": check_detail(detail),
+    }
+
+
+def decode_poll(payload: Any) -> tuple[list[str], float, str]:
+    """Validate a poll envelope; returns ``(fingerprints, wait, detail)``."""
+    payload = _check_envelope(payload, "run_poll")
+    fingerprints = payload.get("fingerprints")
+    if not isinstance(fingerprints, list) or not all(
+        isinstance(item, str) for item in fingerprints
+    ):
+        raise WireError("run_poll payload needs a list of fingerprints")
+    try:
+        wait_s = float(payload.get("wait", 0.0))
+    except (TypeError, ValueError):
+        raise WireError("run_poll wait must be a number") from None
+    return fingerprints, wait_s, check_detail(payload.get("detail"))
+
+
+def encode_pending(
+    fingerprint: str, wire_version: int = WIRE_VERSION
+) -> dict:
+    """The ``202``/stream payload for a run still executing."""
+    return {
+        "wire_version": wire_version,
         "kind": "pending",
         "fingerprint": fingerprint,
     }
 
 
 def encode_error(
-    message: str, fingerprint: str | None = None, status: int = 400
+    message: str,
+    fingerprint: str | None = None,
+    status: int = 400,
+    wire_version: int = WIRE_VERSION,
 ) -> dict:
-    """An error payload (also used per-line on the stream endpoint)."""
+    """An error payload (also used per-line on the stream endpoints)."""
     payload = {
-        "wire_version": WIRE_VERSION,
+        "wire_version": wire_version,
         "kind": "error",
         "error": message,
         "status": status,

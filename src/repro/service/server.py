@@ -12,19 +12,33 @@ it.  Endpoints:
     enter the orchestrator's in-flight dedup table, so overlapping
     submissions of one fingerprint -- same client or different clients
     -- execute exactly once.
-``GET /runs/<fingerprint>[?wait=S]``
+``POST /runs/batch`` (wire v2)
+    Submit many encoded requests in one round trip.  The reply is one
+    JSON line per entry, in entry order: artifact (warm), pending
+    (launched/in flight) or error -- the dispositions a client needs
+    to fan a whole sweep out in ~#requests/chunk HTTP exchanges.
+``POST /runs/poll`` (wire v2)
+    Settle many fingerprints in one call (the body-borne replacement
+    for ``GET /runs?fp=...``, which URL length caps).  ``wait=0``
+    answers immediately with one buffered -- and compressible -- body;
+    ``wait>0`` long-poll streams JSON lines in completion order.
+``GET /runs/<fingerprint>[?wait=S&v=V&detail=D]``
     Poll one run.  ``wait`` long-polls up to S seconds (capped at
     :data:`MAX_WAIT_S`) for completion; replies ``200`` artifact,
     ``202`` pending, ``404`` unknown, or ``500`` with the run's error.
-``GET /runs?fp=...&fp=...[&wait=S]``
+    ``v``/``detail`` select the reply envelope version (default 1, so
+    old clients keep decoding) and projection level.
+``GET /runs?fp=...&fp=...[&wait=S&v=V&detail=D]``
     Stream the named runs back as JSON lines in *completion* order --
     the wire mirror of
     :meth:`~repro.experiments.orchestrator.Orchestrator.as_resolved`.
     Runs still pending when ``wait`` expires stream a ``pending``
     line; the client re-polls.
 ``GET /healthz`` and ``GET /stats``
-    Liveness, and counters (hits/misses/computed/in-flight/errors plus
-    the store's own counters).
+    Liveness (with the supported wire versions, which is how clients
+    negotiate), and counters (hits/misses/computed/in-flight/errors,
+    the store's own counters, and the wire block: bytes in/out,
+    gzip vs identity replies, batch sizes, request-latency p50/p99).
 
 Dedup and the warm fast path
 ----------------------------
@@ -38,19 +52,35 @@ fingerprint recomputed and verified (``409`` on mismatch), and only
 then does it enter the shared orchestrator core
 (:meth:`~repro.experiments.orchestrator.Orchestrator.resolve`).
 
+The response cache stores fully *rendered* reply bodies keyed by
+``(fingerprint, version, detail, encoding)`` -- for gzip that means
+pre-compressed bytes, so a warm hit is one cache lookup plus one
+socket write with no per-request ``json.dumps`` or ``gzip.compress``
+on the hot path.  Gzip variants are complete gzip members whose
+decompressed form ends in a newline; batch and buffered-poll replies
+are built by *concatenating* members (a multi-member stream is valid
+gzip and ``gzip.decompress`` handles it), so batching never has to
+re-compress cached artifacts.
+
 Handlers run on per-connection daemon threads
-(``ThreadingHTTPServer``); waits are capped at :data:`MAX_WAIT_S` and
+(``ThreadingHTTPServer``); waits are capped at :data:`MAX_WAIT_S`,
+idle keep-alive connections are closed after ``idle_timeout_s``, and
 every write failure (client gone mid-poll) is swallowed, so an
 abandoned connection occupies one thread for at most its ``wait`` and
-never wedges the daemon or the worker that owns the run.
+never wedges the daemon or the worker that owns the run.  Request
+bodies above ``max_body_bytes`` are refused with ``413`` *before*
+being read (the connection closes: the unread body would desync
+keep-alive framing); bodies without a ``Content-Length`` get ``411``.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import threading
 import time
-from collections import OrderedDict
+import zlib
+from collections import OrderedDict, deque
 from concurrent.futures import (
     FIRST_COMPLETED,
     Future,
@@ -65,25 +95,55 @@ from urllib.parse import parse_qs, urlsplit
 from repro.experiments.orchestrator import Orchestrator, RunFuture
 from repro.service.protocol import (
     FingerprintMismatch,
+    SUPPORTED_WIRE_VERSIONS,
     WIRE_VERSION,
     WireError,
+    check_detail,
+    decode_batch,
+    decode_poll,
     decode_request,
     encode_artifact,
     encode_error,
     encode_pending,
 )
 
-__all__ = ["ExperimentDaemon", "MAX_WAIT_S"]
+__all__ = [
+    "DEFAULT_IDLE_TIMEOUT_S",
+    "DEFAULT_MAX_BODY_BYTES",
+    "ExperimentDaemon",
+    "MAX_WAIT_S",
+]
 
 #: Hard cap on a single long-poll/stream wait (seconds).
 MAX_WAIT_S = 60.0
 
-#: Completed artifacts kept pre-encoded for the warm fast path.
-_RESPONSE_CACHE_SIZE = 1024
+#: Default cap on request-body size (encoded recorded-trace packs are
+#: the big legitimate payload; 64 MiB leaves them ample headroom).
+DEFAULT_MAX_BODY_BYTES = 64 << 20
+
+#: Idle keep-alive connections are closed after this many seconds, so
+#: a daemon serving weeks of bursty clients does not accumulate one
+#: parked thread per client that ever connected.
+DEFAULT_IDLE_TIMEOUT_S = 120.0
+
+#: Rendered reply bodies kept for the warm fast path.  Keys are
+#: ``(fingerprint, version, detail, encoding)`` -- a fingerprint hot
+#: in every variant costs at most 8 slots (2 versions x 2 details x
+#: 2 encodings), headline/gzip variants being tiny.
+_RESPONSE_CACHE_SIZE = 4096
 
 #: Failed-run messages retained for polls (bounded; a daemon lives
 #: for weeks and failures must not accumulate without limit).
 _ERROR_CACHE_SIZE = 1024
+
+#: Compression level for cached artifact bodies: 6 is zlib's sweet
+#: spot (±1% of level 9's ratio at a fraction of the CPU) and the
+#: cost is paid once per cached variant, not per request.
+_GZIP_LEVEL = 6
+
+#: Request latencies retained for the /stats p50/p99 (a sliding
+#: window, not a full history: the daemon is long-lived).
+_LATENCY_WINDOW = 4096
 
 
 class ExperimentDaemon:
@@ -96,6 +156,13 @@ class ExperimentDaemon:
         the daemon's capacity and persistence).
     host / port:
         Bind address; port 0 picks a free port (see :attr:`address`).
+    max_body_bytes:
+        Request bodies larger than this are refused with ``413``
+        before being read (also the cap on a gzip body's *decompressed*
+        size, so a compression bomb cannot balloon in memory).
+    idle_timeout_s:
+        Keep-alive connections idle this long are closed server-side;
+        ``None`` disables the idle reaper (connections park forever).
     """
 
     def __init__(
@@ -103,11 +170,15 @@ class ExperimentDaemon:
         orchestrator: Orchestrator,
         host: str = "127.0.0.1",
         port: int = 0,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        idle_timeout_s: float | None = DEFAULT_IDLE_TIMEOUT_S,
     ) -> None:
         self.orchestrator = orchestrator
+        self.max_body_bytes = int(max_body_bytes)
+        self.idle_timeout_s = idle_timeout_s
         self._futures: dict[str, RunFuture] = {}
         self._errors: OrderedDict[str, str] = OrderedDict()
-        self._responses: OrderedDict[str, bytes] = OrderedDict()
+        self._responses: OrderedDict[tuple, bytes] = OrderedDict()
         self._lock = threading.Lock()
         self._started = time.time()
         self.counters = {
@@ -117,6 +188,15 @@ class ExperimentDaemon:
             "computed": 0,
             "errors": 0,
         }
+        self.wire_counters = {
+            "bytes_in": 0,
+            "bytes_out": 0,
+            "responses_gzip": 0,
+            "responses_identity": 0,
+            "batch_requests": 0,
+            "batch_entries": 0,
+        }
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
         handler = _build_handler(self)
         self._server = ThreadingHTTPServer((host, port), handler)
         self._server.daemon_threads = True
@@ -183,26 +263,73 @@ class ExperimentDaemon:
         with self._lock:
             self.counters[key] += delta
 
-    def _cache_response(self, fingerprint: str, payload: bytes) -> None:
+    def _count_wire(self, key: str, delta: int = 1) -> None:
         with self._lock:
-            self._responses[fingerprint] = payload
-            self._responses.move_to_end(fingerprint)
+            self.wire_counters[key] += delta
+
+    def _record_latency(self, seconds: float) -> None:
+        with self._lock:
+            self._latencies.append(seconds)
+
+    def _record_sent(self, nbytes: int, encoding: str) -> None:
+        with self._lock:
+            self.wire_counters["bytes_out"] += nbytes
+            key = (
+                "responses_gzip" if encoding == "gzip"
+                else "responses_identity"
+            )
+            self.wire_counters[key] += 1
+
+    def _cache_response(self, key: tuple, payload: bytes) -> None:
+        with self._lock:
+            self._responses[key] = payload
+            self._responses.move_to_end(key)
             while len(self._responses) > _RESPONSE_CACHE_SIZE:
                 self._responses.popitem(last=False)
 
-    def _cached_response(self, fingerprint: str) -> bytes | None:
+    def _cached_response(self, key: tuple) -> bytes | None:
         with self._lock:
-            payload = self._responses.get(fingerprint)
+            payload = self._responses.get(key)
             if payload is not None:
-                self._responses.move_to_end(fingerprint)
+                self._responses.move_to_end(key)
             return payload
 
-    def _artifact_bytes(self, future: RunFuture) -> bytes:
-        """Encode a done future's artifact, caching the bytes."""
-        artifact = future.result(timeout=0)
-        payload = json.dumps(encode_artifact(artifact)).encode()
-        self._cache_response(future.fingerprint, payload)
-        return payload
+    def _artifact_bytes(
+        self,
+        future: RunFuture,
+        version: int = 1,
+        detail: str = "full",
+        encoding: str = "identity",
+    ) -> bytes:
+        """One rendered reply body for a done future, cached per variant.
+
+        Identity variants are the bare JSON object; gzip variants are
+        one complete gzip member whose decompressed form is the JSON
+        object plus a trailing newline, so batch replies concatenate
+        cached members verbatim (see the module docstring).
+        """
+        key = (future.fingerprint, version, detail, encoding)
+        cached = self._cached_response(key)
+        if cached is not None:
+            return cached
+        if encoding == "gzip":
+            # Derive from the identity variant so both encodings carry
+            # the same envelope byte for byte (the artifact's volatile
+            # metadata -- elapsed_s, source -- would otherwise differ
+            # between a re-resolve and the first render).
+            identity = self._artifact_bytes(future, version, detail)
+            body = gzip.compress(
+                identity + b"\n", compresslevel=_GZIP_LEVEL, mtime=0
+            )
+        else:
+            artifact = future.result(timeout=0)
+            body = _dumps(
+                encode_artifact(
+                    artifact, detail=detail, wire_version=version
+                )
+            )
+        self._cache_response(key, body)
+        return body
 
     def _finish(self, fingerprint: str, base: Future) -> None:
         """Done callback of every miss: counters, errors, registry."""
@@ -226,40 +353,75 @@ class ExperimentDaemon:
 
     # -- request handling (HTTP-free; the handler is a thin shim) ----------
 
-    def handle_submit(self, payload: dict) -> tuple[int, bytes]:
-        """``POST /runs``: returns ``(status, body bytes)``."""
+    def handle_submit(
+        self,
+        payload: dict,
+        detail: str | None = None,
+        encoding: str = "identity",
+    ) -> tuple[int, bytes, str]:
+        """``POST /runs`` (and one batch entry): ``(status, body, enc)``.
+
+        ``detail=None`` reads the level from the payload (v2 field);
+        batch entries get the batch-level detail passed in instead.
+        ``encoding`` is what the rendered artifact body should use --
+        error and pending replies are always identity (they are tiny,
+        and per-line gzip wrapping is the batch assembler's job).
+        """
         self._count("submitted")
-        if not isinstance(payload, dict) or payload.get(
-            "wire_version"
-        ) != WIRE_VERSION or payload.get("kind") != "run_request":
+        if not isinstance(payload, dict):
+            return 400, _dumps(
+                encode_error("expected a JSON object body", status=400)
+            ), "identity"
+        version = payload.get("wire_version")
+        if (
+            version not in SUPPORTED_WIRE_VERSIONS
+            or payload.get("kind") != "run_request"
+        ):
             # Checked before the warm fast path too: a mismatched peer
             # must be refused deterministically, not served whenever
             # its fingerprint happens to be cached.
             return 400, _dumps(
                 encode_error(
-                    "expected a run_request payload at wire version "
-                    f"{WIRE_VERSION}",
+                    "expected a run_request payload at a supported "
+                    f"wire version {SUPPORTED_WIRE_VERSIONS}",
                     status=400,
                 )
-            )
+            ), "identity"
+        if version < 2:
+            detail = "full"  # v1 knows only the full ledger
+        elif detail is None:
+            try:
+                detail = check_detail(payload.get("detail"))
+            except WireError as error:
+                return 400, _dumps(
+                    encode_error(str(error), status=400, wire_version=version)
+                ), "identity"
         declared = payload.get("fingerprint")
         use_store = bool(payload.get("use_store", True))
         if use_store and isinstance(declared, str):
-            cached = self._cached_response(declared)
+            cached = self._cached_response(
+                (declared, version, detail, encoding)
+            )
             if cached is not None:
                 self._count("hits")
-                return 200, cached
+                return 200, cached, encoding
         try:
             request, fingerprint, use_store = decode_request(payload)
         except FingerprintMismatch as error:
-            return 409, _dumps(encode_error(str(error), status=409))
+            return 409, _dumps(
+                encode_error(str(error), status=409, wire_version=version)
+            ), "identity"
         except WireError as error:
-            return 400, _dumps(encode_error(str(error), status=400))
+            return 400, _dumps(
+                encode_error(str(error), status=400, wire_version=version)
+            ), "identity"
         if use_store:
             hit = self.orchestrator.lookup(request, fingerprint)
             if hit is not None:
                 self._count("hits")
-                return 200, self._artifact_bytes(hit)
+                return 200, self._artifact_bytes(
+                    hit, version, detail, encoding
+                ), encoding
         # Miss: claim the fingerprint in the daemon registry *before*
         # launching, so overlapping submissions -- same client or a
         # different one, pooled or serial -- park on one run.  (The
@@ -275,7 +437,9 @@ class ExperimentDaemon:
                     lambda base, fp=fingerprint: self._finish(fp, base)
                 )
         if existing is not None:
-            return 202, _dumps(encode_pending(fingerprint))
+            return 202, _dumps(
+                encode_pending(fingerprint, wire_version=version)
+            ), "identity"
         # A serial orchestrator executes launches inline; running that
         # on the handler thread would stall the POST for the whole
         # simulation (longer than any client timeout), so serial
@@ -303,7 +467,58 @@ class ExperimentDaemon:
                 wrapper.set_exception(error)
             else:
                 _chain(launched._future, wrapper)
-        return 202, _dumps(encode_pending(fingerprint))
+        return 202, _dumps(
+            encode_pending(fingerprint, wire_version=version)
+        ), "identity"
+
+    def handle_batch(
+        self, payload: dict, encoding: str = "identity"
+    ) -> tuple[int, bytes, str]:
+        """``POST /runs/batch``: one disposition line per entry.
+
+        Gzip bodies are assembled by concatenating members: cached
+        artifact variants verbatim, tiny pending/error lines wrapped
+        on the fly.  A malformed entry poisons only its own line.
+        """
+        self._count_wire("batch_requests")
+        try:
+            entries, detail = decode_batch(payload)
+        except WireError as error:
+            return 400, _dumps(encode_error(str(error), status=400)), (
+                "identity"
+            )
+        self._count_wire("batch_entries", len(entries))
+        parts = []
+        for entry in entries:
+            _, body, used = self.handle_submit(
+                entry, detail=detail, encoding=encoding
+            )
+            parts.append(_as_member(body, used, encoding))
+        return 200, b"".join(parts), encoding
+
+    def handle_poll_batch(
+        self,
+        fingerprints: list[str],
+        detail: str = "full",
+        encoding: str = "identity",
+    ) -> tuple[int, bytes, str]:
+        """``POST /runs/poll`` with ``wait=0``: one buffered body.
+
+        One line per distinct fingerprint: artifact, pending, or error
+        (404 unknown / 500 failed), assembled like a batch reply so
+        warm artifacts reuse their pre-compressed cache entries.
+        """
+        parts = []
+        for fingerprint in dict.fromkeys(fingerprints):
+            _, body, used = self.handle_poll(
+                fingerprint,
+                0.0,
+                version=WIRE_VERSION,
+                detail=detail,
+                encoding=encoding,
+            )
+            parts.append(_as_member(body, used, encoding))
+        return 200, b"".join(parts), encoding
 
     def _lookup(self, fingerprint: str) -> RunFuture | None:
         """A future for a fingerprint: in-flight, else store-resolved."""
@@ -315,41 +530,55 @@ class ExperimentDaemon:
         return hit
 
     def handle_poll(
-        self, fingerprint: str, wait_s: float
-    ) -> tuple[int, bytes]:
-        """``GET /runs/<fingerprint>``: returns ``(status, body)``."""
+        self,
+        fingerprint: str,
+        wait_s: float,
+        version: int = 1,
+        detail: str = "full",
+        encoding: str = "identity",
+    ) -> tuple[int, bytes, str]:
+        """``GET /runs/<fingerprint>``: ``(status, body, encoding)``."""
         deadline = time.monotonic() + min(max(wait_s, 0.0), MAX_WAIT_S)
         while True:
             future = self._lookup(fingerprint)
             if future is not None and future.done():
                 if future.exception(timeout=0) is None:
-                    return 200, self._artifact_bytes(future)
+                    return 200, self._artifact_bytes(
+                        future, version, detail, encoding
+                    ), encoding
                 return 500, _dumps(
                     encode_error(
                         self._error_message(future),
                         fingerprint=fingerprint,
                         status=500,
+                        wire_version=version,
                     )
-                )
+                ), "identity"
             if future is None:
                 with self._lock:
                     message = self._errors.get(fingerprint)
                 if message is not None:
                     return 500, _dumps(
                         encode_error(
-                            message, fingerprint=fingerprint, status=500
+                            message,
+                            fingerprint=fingerprint,
+                            status=500,
+                            wire_version=version,
                         )
-                    )
+                    ), "identity"
                 return 404, _dumps(
                     encode_error(
                         "unknown fingerprint (not stored, not in flight)",
                         fingerprint=fingerprint,
                         status=404,
+                        wire_version=version,
                     )
-                )
+                ), "identity"
             remaining = deadline - time.monotonic()
             if remaining <= 0:
-                return 202, _dumps(encode_pending(fingerprint))
+                return 202, _dumps(
+                    encode_pending(fingerprint, wire_version=version)
+                ), "identity"
             try:
                 future.result(timeout=remaining)
             except FutureTimeoutError:
@@ -358,9 +587,19 @@ class ExperimentDaemon:
                 continue
 
     def handle_stream(
-        self, fingerprints: list[str], wait_s: float
+        self,
+        fingerprints: list[str],
+        wait_s: float,
+        version: int = 1,
+        detail: str = "full",
     ) -> Iterator[bytes]:
-        """``GET /runs?fp=...``: JSON lines in completion order."""
+        """``GET /runs?fp=...``: JSON lines in completion order.
+
+        Always identity-encoded: lines go out as runs complete, and
+        close-delimited incremental gzip would force clients into
+        streaming decompression for no warm-path gain (streamed lines
+        are the *cold* path; warm settlement uses the buffered poll).
+        """
         deadline = time.monotonic() + min(max(wait_s, 0.0), MAX_WAIT_S)
         pending: dict[Future, str] = {}
         for fingerprint in dict.fromkeys(fingerprints):
@@ -371,7 +610,10 @@ class ExperimentDaemon:
                 if message is not None:
                     yield _dumps(
                         encode_error(
-                            message, fingerprint=fingerprint, status=500
+                            message,
+                            fingerprint=fingerprint,
+                            status=500,
+                            wire_version=version,
                         )
                     ) + b"\n"
                     continue
@@ -380,17 +622,20 @@ class ExperimentDaemon:
                         "unknown fingerprint (not stored, not in flight)",
                         fingerprint=fingerprint,
                         status=404,
+                        wire_version=version,
                     )
                 ) + b"\n"
             elif future.done():
-                yield self._line_for(future)
+                yield self._line_for(future, version, detail)
             else:
                 pending[future._future] = fingerprint
         while pending:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 for fingerprint in pending.values():
-                    yield _dumps(encode_pending(fingerprint)) + b"\n"
+                    yield _dumps(
+                        encode_pending(fingerprint, wire_version=version)
+                    ) + b"\n"
                 return
             done_now, _ = wait(
                 pending, timeout=remaining, return_when=FIRST_COMPLETED
@@ -398,7 +643,7 @@ class ExperimentDaemon:
             for base in done_now:
                 fingerprint = pending.pop(base)
                 yield self._line_for(
-                    RunFuture(None, fingerprint, base)
+                    RunFuture(None, fingerprint, base), version, detail
                 )
 
     def _error_message(self, future: RunFuture) -> str:
@@ -415,15 +660,18 @@ class ExperimentDaemon:
         with self._lock:
             return self._errors.get(future.fingerprint, "run failed")
 
-    def _line_for(self, future: RunFuture) -> bytes:
+    def _line_for(
+        self, future: RunFuture, version: int = 1, detail: str = "full"
+    ) -> bytes:
         if future.exception(timeout=0) is None:
-            return self._artifact_bytes(future) + b"\n"
+            return self._artifact_bytes(future, version, detail) + b"\n"
         return (
             _dumps(
                 encode_error(
                     self._error_message(future),
                     fingerprint=future.fingerprint,
                     status=500,
+                    wire_version=version,
                 )
             )
             + b"\n"
@@ -433,20 +681,67 @@ class ExperimentDaemon:
         """The ``/stats`` payload."""
         with self._lock:
             counters = dict(self.counters)
+            wire = dict(self.wire_counters)
             inflight = len(self._futures)
+            latencies = sorted(self._latencies)
+        wire["request_p50_ms"] = _percentile_ms(latencies, 50.0)
+        wire["request_p99_ms"] = _percentile_ms(latencies, 99.0)
         return {
             "wire_version": WIRE_VERSION,
+            "supported_wire_versions": list(SUPPORTED_WIRE_VERSIONS),
             "kind": "stats",
             "uptime_s": time.time() - self._started,
             "jobs": self.orchestrator.jobs,
             "inflight": max(inflight, self.orchestrator.inflight_count()),
             "store": self.orchestrator.store.stats(),
+            "wire": wire,
             **counters,
         }
 
 
 def _dumps(payload: dict) -> bytes:
     return json.dumps(payload).encode()
+
+
+def _percentile_ms(sorted_latencies: list[float], percentile: float) -> float:
+    """Nearest-rank percentile of a sorted seconds list, in ms."""
+    if not sorted_latencies:
+        return 0.0
+    rank = min(
+        len(sorted_latencies) - 1,
+        int(percentile / 100.0 * len(sorted_latencies)),
+    )
+    return sorted_latencies[rank] * 1000.0
+
+
+def _as_member(body: bytes, used: str, encoding: str) -> bytes:
+    """One reply line for a batch body in the negotiated encoding.
+
+    Identity bodies (no trailing newline) get one appended; under gzip
+    a pre-compressed body passes through verbatim (its member already
+    ends in a newline) and identity lines are wrapped into members.
+    """
+    if encoding != "gzip":
+        return body + b"\n"
+    if used == "gzip":
+        return body
+    return gzip.compress(body + b"\n", compresslevel=_GZIP_LEVEL, mtime=0)
+
+
+def _gunzip_capped(data: bytes, cap: int) -> bytes | None:
+    """Decompress one gzip member, refusing to exceed ``cap`` bytes.
+
+    Returns None when the decompressed size would exceed the cap (the
+    compression-bomb guard); raises ``WireError`` on corrupt input.
+    """
+    decompressor = zlib.decompressobj(16 + zlib.MAX_WBITS)
+    try:
+        payload = decompressor.decompress(data, cap + 1)
+    except zlib.error as error:
+        raise WireError(f"undecodable gzip body: {error}") from None
+    if len(payload) > cap:
+        return None
+    return payload
 
 
 def _chain(source: Future, target: Future) -> None:
@@ -474,23 +769,44 @@ def _build_handler(daemon: ExperimentDaemon) -> type:
         # the second waits out the peer's delayed ACK (~40 ms per
         # exchange), capping keep-alive throughput at ~25 req/s.
         disable_nagle_algorithm = True
+        # BaseHTTPRequestHandler applies this as the socket timeout: a
+        # keep-alive connection idle past it raises in the request-line
+        # read and the handler loop closes it.
+        timeout = daemon.idle_timeout_s
 
         def log_message(self, format, *args):  # noqa: A002 - stdlib name
             pass  # endpoint traffic is metered via /stats, not stderr
 
         # -- plumbing ------------------------------------------------------
 
-        def _reply(self, status: int, body: bytes) -> None:
+        def _wants_gzip(self) -> bool:
+            accept = self.headers.get("Accept-Encoding", "")
+            return "gzip" in accept.lower()
+
+        def _reply(
+            self,
+            status: int,
+            body: bytes,
+            encoding: str = "identity",
+            close: bool = False,
+        ) -> None:
             try:
                 self.send_response(status)
                 self.send_header("Content-Type", "application/json")
+                if encoding == "gzip":
+                    self.send_header("Content-Encoding", "gzip")
+                if close:
+                    self.send_header("Connection", "close")
+                    self.close_connection = True
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
-            except (BrokenPipeError, ConnectionResetError):
+                daemon._record_sent(len(body), encoding)
+            except (BrokenPipeError, ConnectionResetError, TimeoutError):
                 self.close_connection = True
 
         def _reply_stream(self, lines) -> None:
+            sent = 0
             try:
                 self.send_response(200)
                 self.send_header("Content-Type", "application/jsonl")
@@ -499,14 +815,106 @@ def _build_handler(daemon: ExperimentDaemon) -> type:
                 for line in lines:
                     self.wfile.write(line)
                     self.wfile.flush()
-            except (BrokenPipeError, ConnectionResetError):
+                    sent += len(line)
+            except (BrokenPipeError, ConnectionResetError, TimeoutError):
                 pass
+            daemon._record_sent(sent, "identity")
             self.close_connection = True
+
+        def _read_body(self) -> dict | None:
+            """The POST body as parsed JSON; None = already replied.
+
+            Enforces the size cap *before* reading (413 closes the
+            connection: the unread body would desync keep-alive
+            framing) and transparently inflates gzip request bodies,
+            capping their decompressed size too.
+            """
+            length_header = self.headers.get("Content-Length")
+            if length_header is None:
+                self._reply(
+                    411,
+                    _dumps(
+                        encode_error(
+                            "Content-Length required", status=411
+                        )
+                    ),
+                    close=True,
+                )
+                return None
+            try:
+                length = int(length_header)
+            except ValueError:
+                self._reply(
+                    400,
+                    _dumps(
+                        encode_error("malformed Content-Length", status=400)
+                    ),
+                    close=True,
+                )
+                return None
+            if length > daemon.max_body_bytes:
+                self._reply(
+                    413,
+                    _dumps(
+                        encode_error(
+                            f"request body of {length} bytes exceeds "
+                            f"the {daemon.max_body_bytes}-byte cap",
+                            status=413,
+                        )
+                    ),
+                    close=True,
+                )
+                return None
+            raw = self.rfile.read(length)
+            daemon._count_wire("bytes_in", len(raw))
+            if self.headers.get("Content-Encoding", "").lower() == "gzip":
+                try:
+                    inflated = _gunzip_capped(raw, daemon.max_body_bytes)
+                except WireError as error:
+                    self._reply(
+                        400, _dumps(encode_error(str(error), status=400))
+                    )
+                    return None
+                if inflated is None:
+                    self._reply(
+                        413,
+                        _dumps(
+                            encode_error(
+                                "request body inflates past the "
+                                f"{daemon.max_body_bytes}-byte cap",
+                                status=413,
+                            )
+                        ),
+                        close=True,
+                    )
+                    return None
+                raw = inflated
+            try:
+                return json.loads(raw)
+            except (ValueError, json.JSONDecodeError):
+                self._reply(
+                    400,
+                    _dumps(encode_error("malformed JSON body", status=400)),
+                )
+                return None
 
         # -- routes --------------------------------------------------------
 
         def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+            self._route(self._handle_get)
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+            self._route(self._handle_post)
+
+        def _route(self, handle) -> None:
             daemon._count("requests")
+            started = time.perf_counter()
+            try:
+                handle()
+            finally:
+                daemon._record_latency(time.perf_counter() - started)
+
+        def _handle_get(self) -> None:
             parts = urlsplit(self.path)
             query = parse_qs(parts.query)
             wait = _float_param(query, "wait", 0.0)
@@ -517,55 +925,113 @@ def _build_handler(daemon: ExperimentDaemon) -> type:
                     _dumps(
                         {
                             "wire_version": WIRE_VERSION,
+                            "supported_wire_versions": list(
+                                SUPPORTED_WIRE_VERSIONS
+                            ),
                             "kind": "health",
                             "status": "ok",
                         }
                     ),
                 )
-            elif path == "/stats":
+                return
+            if path == "/stats":
                 self._reply(200, _dumps(daemon.stats()))
-            elif path == "/runs":
-                fingerprints = query.get("fp", [])
-                if not fingerprints:
+                return
+            if path == "/runs" or path.startswith("/runs/"):
+                version = _int_param(query, "v", 1)
+                if version not in SUPPORTED_WIRE_VERSIONS:
                     self._reply(
                         400,
                         _dumps(
                             encode_error(
-                                "streaming GET /runs needs >=1 fp= param",
+                                f"unsupported wire version {version}",
                                 status=400,
                             )
                         ),
                     )
                     return
-                self._reply_stream(daemon.handle_stream(fingerprints, wait))
-            elif path.startswith("/runs/"):
+                try:
+                    detail = check_detail(
+                        query.get("detail", [None])[0]
+                    )
+                except WireError as error:
+                    self._reply(
+                        400, _dumps(encode_error(str(error), status=400))
+                    )
+                    return
+                if version < 2:
+                    detail = "full"
+                if path == "/runs":
+                    fingerprints = query.get("fp", [])
+                    if not fingerprints:
+                        self._reply(
+                            400,
+                            _dumps(
+                                encode_error(
+                                    "streaming GET /runs needs >=1 "
+                                    "fp= param",
+                                    status=400,
+                                )
+                            ),
+                        )
+                        return
+                    self._reply_stream(
+                        daemon.handle_stream(
+                            fingerprints, wait, version, detail
+                        )
+                    )
+                    return
                 fingerprint = path[len("/runs/") :]
-                status, body = daemon.handle_poll(fingerprint, wait)
-                self._reply(status, body)
-            else:
-                self._reply(
-                    404, _dumps(encode_error("no such endpoint", status=404))
+                encoding = "gzip" if self._wants_gzip() else "identity"
+                status, body, used = daemon.handle_poll(
+                    fingerprint, wait, version, detail, encoding
                 )
+                self._reply(status, body, encoding=used)
+                return
+            self._reply(
+                404, _dumps(encode_error("no such endpoint", status=404))
+            )
 
-        def do_POST(self) -> None:  # noqa: N802 - stdlib casing
-            daemon._count("requests")
+        def _handle_post(self) -> None:
             path = urlsplit(self.path).path.rstrip("/")
-            if path != "/runs":
+            if path not in ("/runs", "/runs/batch", "/runs/poll"):
                 self._reply(
                     404, _dumps(encode_error("no such endpoint", status=404))
                 )
                 return
-            try:
-                length = int(self.headers.get("Content-Length", "0"))
-                payload = json.loads(self.rfile.read(length))
-            except (ValueError, json.JSONDecodeError):
-                self._reply(
-                    400,
-                    _dumps(encode_error("malformed JSON body", status=400)),
-                )
+            payload = self._read_body()
+            if payload is None:
                 return
-            status, body = daemon.handle_submit(payload)
-            self._reply(status, body)
+            encoding = "gzip" if self._wants_gzip() else "identity"
+            if path == "/runs":
+                status, body, used = daemon.handle_submit(
+                    payload, encoding=encoding
+                )
+                self._reply(status, body, encoding=used)
+            elif path == "/runs/batch":
+                status, body, used = daemon.handle_batch(payload, encoding)
+                self._reply(status, body, encoding=used)
+            else:
+                try:
+                    fingerprints, wait_s, detail = decode_poll(payload)
+                except WireError as error:
+                    self._reply(
+                        400, _dumps(encode_error(str(error), status=400))
+                    )
+                    return
+                if wait_s > 0:
+                    # Streamed settlement in completion order; identity
+                    # by design (see handle_stream).
+                    self._reply_stream(
+                        daemon.handle_stream(
+                            fingerprints, wait_s, WIRE_VERSION, detail
+                        )
+                    )
+                    return
+                status, body, used = daemon.handle_poll_batch(
+                    fingerprints, detail, encoding
+                )
+                self._reply(status, body, encoding=used)
 
     return Handler
 
@@ -573,5 +1039,12 @@ def _build_handler(daemon: ExperimentDaemon) -> type:
 def _float_param(query: dict, name: str, default: float) -> float:
     try:
         return float(query.get(name, [default])[0])
+    except (TypeError, ValueError):
+        return default
+
+
+def _int_param(query: dict, name: str, default: int) -> int:
+    try:
+        return int(query.get(name, [default])[0])
     except (TypeError, ValueError):
         return default

@@ -17,11 +17,16 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.core.green import GreenSlotResult
 from repro.units import joules_to_gj
+
+#: Response-time percentiles a headline projection carries verbatim.
+#: Any other percentile requires the full ledger.
+HEADLINE_PERCENTILES = (95.0, 99.0)
 
 
 @dataclass
@@ -245,3 +250,157 @@ class RunResult:
             "mean_active_servers": self.mean_active_servers(),
             "renewable_utilization": self.renewable_utilization(),
         }
+
+    def headline(self) -> dict:
+        """The headline-metrics projection of this run.
+
+        A strict subset of the information in :meth:`to_dict`: every
+        value is computed from the full slot ledger by the aggregate
+        accessors above, so a consumer reading a headline sees exactly
+        the numbers it would have computed from the full result.  The
+        experiment service ships this block for ``detail=headline``
+        responses (:class:`HeadlineResult` is the consumer-side view).
+        """
+        return {
+            "policy_name": self.policy_name,
+            "config_name": self.config_name,
+            "horizon": self.horizon,
+            "total_grid_cost_eur": self.total_grid_cost_eur(),
+            "total_facility_energy_joules": (
+                self.total_facility_energy_joules()
+            ),
+            "total_energy_gj": self.total_energy_gj(),
+            "total_grid_energy_joules": self.total_grid_energy_joules(),
+            "renewable_utilization": self.renewable_utilization(),
+            "mean_response_s": self.mean_response_s(),
+            "worst_response_s": self.worst_response_s(),
+            "total_migrations": self.total_migrations(),
+            "total_migration_volume_mb": self.total_migration_volume_mb(),
+            "mean_active_servers": self.mean_active_servers(),
+            **{
+                f"p{percentile:g}_response_s": self.percentile_response_s(
+                    percentile
+                )
+                for percentile in HEADLINE_PERCENTILES
+            },
+        }
+
+
+class HeadlineResult:
+    """A run's headline metrics, standing in for a :class:`RunResult`.
+
+    Exposes the same aggregate accessors (``total_grid_cost_eur``,
+    ``total_energy_gj``, ``percentile_response_s`` for the
+    :data:`HEADLINE_PERCENTILES`, ...) backed by a
+    :meth:`RunResult.headline` dictionary instead of the full slot
+    ledger -- the experiment service's ``detail=headline`` wire form,
+    ~two orders of magnitude smaller than a full ledger.
+
+    Anything the headline cannot answer (``slots``, per-slot series,
+    arbitrary percentiles) upgrades lazily: when the projection was
+    built with a ``fetch_full`` callback (the service client supplies
+    one), the first such access fetches the full ledger once and
+    delegates to it from then on; without a callback the access raises
+    so a consumer that silently needed ``detail=full`` fails loudly.
+    """
+
+    def __init__(
+        self,
+        headline: dict,
+        fetch_full: Callable[[], "RunResult"] | None = None,
+    ) -> None:
+        self._headline = dict(headline)
+        self._fetch_full = fetch_full
+        self._full_result: RunResult | None = None
+
+    # -- identity ------------------------------------------------------
+    @property
+    def policy_name(self) -> str:
+        return self._headline["policy_name"]
+
+    @property
+    def config_name(self) -> str:
+        return self._headline["config_name"]
+
+    @property
+    def horizon(self) -> int:
+        return int(self._headline["horizon"])
+
+    # -- headline accessors (mirror RunResult's aggregate API) ---------
+    def total_grid_cost_eur(self) -> float:
+        """Fleet grid cost over the horizon, EUR."""
+        return self._headline["total_grid_cost_eur"]
+
+    def total_facility_energy_joules(self) -> float:
+        """Total facility-side energy, joules."""
+        return self._headline["total_facility_energy_joules"]
+
+    def total_energy_gj(self) -> float:
+        """Total facility-side energy, gigajoules."""
+        return self._headline["total_energy_gj"]
+
+    def total_grid_energy_joules(self) -> float:
+        """Energy drawn from the grid, joules."""
+        return self._headline["total_grid_energy_joules"]
+
+    def renewable_utilization(self) -> float:
+        """Fraction of demand met by renewables."""
+        return self._headline["renewable_utilization"]
+
+    def mean_response_s(self) -> float:
+        """Mean VM response time, seconds."""
+        return self._headline["mean_response_s"]
+
+    def worst_response_s(self) -> float:
+        """Worst observed VM response time, seconds."""
+        return self._headline["worst_response_s"]
+
+    def percentile_response_s(self, percentile: float) -> float:
+        """Response-time percentile; non-headline percentiles upgrade."""
+        key = f"p{float(percentile):g}_response_s"
+        value = self._headline.get(key)
+        if value is not None:
+            return value
+        return self.full().percentile_response_s(percentile)
+
+    def total_migrations(self) -> int:
+        """Count of VM migrations over the horizon."""
+        return int(self._headline["total_migrations"])
+
+    def total_migration_volume_mb(self) -> float:
+        """Total migrated image volume, MB."""
+        return self._headline["total_migration_volume_mb"]
+
+    def mean_active_servers(self) -> float:
+        """Mean count of powered-on servers."""
+        return self._headline["mean_active_servers"]
+
+    def headline(self) -> dict:
+        """The projection itself (already computed -- no upgrade)."""
+        return dict(self._headline)
+
+    # -- lazy upgrade to the full ledger -------------------------------
+    def full(self) -> RunResult:
+        """The full :class:`RunResult`, fetched on first demand."""
+        if self._full_result is None:
+            if self._fetch_full is None:
+                raise ValueError(
+                    "this result is a detail=headline projection with no "
+                    "way back to the full ledger; request detail='full'"
+                )
+            self._full_result = self._fetch_full()
+        return self._full_result
+
+    def __getattr__(self, name: str):
+        # Anything beyond the headline surface (slots, per-slot
+        # series, to_dict, summary, ...) answers from the full ledger.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.full(), name)
+
+    def __repr__(self) -> str:
+        state = "full" if self._full_result is not None else "headline"
+        return (
+            f"HeadlineResult({self.policy_name!r}, {self.config_name!r}, "
+            f"detail={state})"
+        )

@@ -35,12 +35,17 @@ def daemon_factory(tmp_path):
     roots = iter(range(1000))
 
     def build(
-        jobs: int = 2, backend: str = "segment", store_root=None
+        jobs: int = 2,
+        backend: str = "segment",
+        store_root=None,
+        **daemon_kwargs,
     ) -> ExperimentDaemon:
         if store_root is None:
             store_root = tmp_path / f"store-{next(roots)}"
         store = ResultStore(store_root, backend=backend)
-        daemon = ExperimentDaemon(Orchestrator(store=store, jobs=jobs))
+        daemon = ExperimentDaemon(
+            Orchestrator(store=store, jobs=jobs), **daemon_kwargs
+        )
         daemons.append(daemon)
         return daemon.start()
 

@@ -10,7 +10,11 @@ import urllib.request
 import pytest
 
 from repro.experiments.orchestrator import RunRequest
-from repro.service.protocol import WIRE_VERSION, encode_request
+from repro.service.protocol import (
+    SUPPORTED_WIRE_VERSIONS,
+    WIRE_VERSION,
+    encode_request,
+)
 from repro.workload.packs import (
     RecordedTraceSource,
     TracePack,
@@ -48,6 +52,7 @@ class TestHealthAndStats:
         assert status == 200
         assert payload == {
             "wire_version": WIRE_VERSION,
+            "supported_wire_versions": list(SUPPORTED_WIRE_VERSIONS),
             "kind": "health",
             "status": "ok",
         }

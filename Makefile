@@ -8,6 +8,9 @@
 #                      concurrent clients vs one daemon: batched +
 #                      gzip + headline-projected submit_many vs the
 #                      single-POST v1 shape -> BENCH_service.json),
+#                      the fleet cold-sweep scale-out (3 daemon
+#                      subprocesses vs 1 over one shared store root
+#                      -> BENCH_fleet.json; skips below 4 CPUs),
 #                      the engine's
 #                      per-slot hot paths, the fleet-batched
 #                      slot-physics kernel (bench_green) and the
@@ -27,8 +30,8 @@ bench-smoke:
 	$(PYTEST) -q benchmarks/bench_orchestrator.py \
 		benchmarks/bench_scaling.py benchmarks/bench_datacorr.py \
 		benchmarks/bench_store.py benchmarks/bench_green.py \
-		benchmarks/bench_service.py \
-		-k "orchestrator or it_power or response_latencies or datacorr or store or green or service" \
+		benchmarks/bench_service.py benchmarks/bench_fleet.py \
+		-k "orchestrator or it_power or response_latencies or datacorr or store or green or service or fleet" \
 		--benchmark-min-rounds=3
 
 # Nightly follow-up to bench-smoke: compact the segment store the

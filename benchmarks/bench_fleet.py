@@ -1,0 +1,265 @@
+"""Fleet benchmarks: cold-miss scale-out across daemon processes.
+
+The fleet exists for one reason: a cold sweep's miss execution should
+scale with the number of daemon *processes* behind it.  So unlike
+``bench_service`` (one in-process daemon, warm wire throughput), this
+benchmark spawns real ``repro serve`` subprocesses -- each its own
+interpreter, each ``--jobs 1`` -- and measures cold artifacts per
+second for the same grid resolved two ways:
+
+``single``
+    One daemon process, plain :class:`ServiceClient`.
+``fleet``
+    :data:`FLEET_SIZE` daemon processes sharing one segment store
+    root, a :class:`FleetClient` routing by rendezvous hashing.
+
+Gates (asserted, and recorded in ``benchmarks/reports/``):
+
+* fleet cold rate >= :data:`SPEEDUP_BAR` x the single-daemon rate;
+* exactly-once fleet-wide: the members' ``/stats`` ``computed``
+  counters sum to the number of unique misses *and* match the
+  client-side rendezvous precompute per member;
+* fleet artifacts are byte-identical to an in-process
+  :class:`Orchestrator` resolving the same grid.
+
+The whole point is multi-core parallelism, so the benchmark skips on
+hosts with fewer than :data:`MIN_CPUS` CPUs (the nightly runners have
+them; a 1-core dev container cannot show a 2.5x).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.experiments.orchestrator import (
+    Orchestrator,
+    ResultStore,
+    RunRequest,
+)
+from repro.experiments.runner import default_policies
+from repro.service import FleetClient, ServiceClient, rendezvous_member
+from repro.sim.config import scaled_config
+
+#: Daemon processes behind the fleet measurement.
+FLEET_SIZE = 3
+
+#: Minimum cold-sweep speedup of the fleet over one daemon.
+SPEEDUP_BAR = 2.5
+
+#: Skip below this CPU count: subprocess daemons must actually run in
+#: parallel for the gate to be meaningful.
+MIN_CPUS = 4
+
+#: Distinct seeds in the cold grid; x4 policies = unique misses.
+COLD_SEEDS = 12
+
+#: Horizon of every run: long enough that execution dominates wire.
+HORIZON = 6
+
+SRC_DIR = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+_LISTENING = re.compile(r"listening on (http://\S+) ")
+
+
+def _requests() -> list[RunRequest]:
+    return [
+        RunRequest(
+            config=scaled_config("tiny", seed=seed).with_horizon(HORIZON),
+            policy=policy,
+        )
+        for seed in range(COLD_SEEDS)
+        for policy in default_policies()
+    ]
+
+
+class _DaemonProcess:
+    """One ``repro serve`` subprocess and its bound URL."""
+
+    def __init__(self, store_root: pathlib.Path, daemon_id: str) -> None:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--store",
+                str(store_root),
+                "--store-backend",
+                "segment",
+                "--jobs",
+                "1",
+                "--port",
+                "0",
+                "--daemon-id",
+                daemon_id,
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.url = self._await_url(timeout_s=30.0)
+
+    def _await_url(self, timeout_s: float) -> str:
+        found: list[str] = []
+
+        def read() -> None:
+            for line in self.proc.stderr:
+                match = _LISTENING.search(line)
+                if match and not found:
+                    found.append(match.group(1))
+            # keep draining so the daemon never blocks on a full pipe
+
+        thread = threading.Thread(target=read, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if found:
+                return found[0]
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"daemon exited with {self.proc.returncode} "
+                    "before binding"
+                )
+            time.sleep(0.05)
+        self.proc.terminate()
+        raise RuntimeError("daemon did not report its URL in time")
+
+    def close(self) -> None:
+        self.proc.terminate()
+        try:
+            self.proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+
+
+def _spawn(root: pathlib.Path, count: int, tag: str) -> list[_DaemonProcess]:
+    daemons = []
+    try:
+        for index in range(count):
+            daemons.append(_DaemonProcess(root, f"bench-{tag}-{index}"))
+    except BaseException:
+        for daemon in daemons:
+            daemon.close()
+        raise
+    return daemons
+
+
+def _canonical(artifact) -> str:
+    return json.dumps(artifact.result.to_dict(), sort_keys=True)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < MIN_CPUS,
+    reason=f"fleet scale-out needs >= {MIN_CPUS} CPUs "
+    f"(found {os.cpu_count()})",
+)
+def test_fleet_cold_sweep_scaleout(report_dir, tmp_path):
+    """Gate: 3 daemon processes >= 2.5x one on a cold sweep."""
+    requests = _requests()
+    unique = {request.fingerprint() for request in requests}
+
+    # -- single daemon baseline (its own cold root) ------------------------
+    single_daemons = _spawn(tmp_path / "single-root", 1, "single")
+    try:
+        with ServiceClient(single_daemons[0].url) as client:
+            start = time.perf_counter()
+            single_artifacts = client.run_many(requests)
+            single_elapsed = time.perf_counter() - start
+            single_stats = client.stats()
+    finally:
+        for daemon in single_daemons:
+            daemon.close()
+    assert len(single_artifacts) == len(requests)
+    assert single_stats["computed"] == len(unique)
+
+    # -- the fleet: FLEET_SIZE daemons over ONE shared cold root -----------
+    fleet_daemons = _spawn(tmp_path / "fleet-root", FLEET_SIZE, "fleet")
+    try:
+        with FleetClient([d.url for d in fleet_daemons]) as fleet:
+            start = time.perf_counter()
+            fleet_artifacts = fleet.run_many(requests)
+            fleet_elapsed = time.perf_counter() - start
+            member_stats = fleet.stats()["members"]
+            member_urls = fleet.urls
+    finally:
+        for daemon in fleet_daemons:
+            daemon.close()
+    assert len(fleet_artifacts) == len(requests)
+
+    # Exactly-once fleet-wide: the members' executed-run counters sum
+    # to the unique misses and match the rendezvous precompute.
+    computed = {
+        url: member_stats[url]["computed"] for url in member_urls
+    }
+    expected = {url: 0 for url in member_urls}
+    for fingerprint in unique:
+        expected[rendezvous_member(fingerprint, member_urls)] += 1
+    assert sum(computed.values()) == len(unique), computed
+    assert computed == expected
+
+    # Byte-identity: the fleet's artifacts equal an in-process sweep's.
+    with Orchestrator(
+        store=ResultStore(tmp_path / "local-root", backend="segment"),
+        jobs=2,
+    ) as local:
+        local_artifacts = local.run_many(requests)
+    for ours, theirs in zip(fleet_artifacts, local_artifacts):
+        assert _canonical(ours) == _canonical(theirs)
+
+    single_rate = len(unique) / single_elapsed
+    fleet_rate = len(unique) / fleet_elapsed
+    speedup = fleet_rate / single_rate
+    report = {
+        "benchmark": "fleet_cold_sweep_scaleout",
+        "fleet_size": FLEET_SIZE,
+        "unique_misses": len(unique),
+        "horizon": HORIZON,
+        "cpu_count": os.cpu_count(),
+        "single": {
+            "elapsed_s": round(single_elapsed, 3),
+            "rate_per_s": round(single_rate, 2),
+        },
+        "fleet": {
+            "elapsed_s": round(fleet_elapsed, 3),
+            "rate_per_s": round(fleet_rate, 2),
+            "computed_per_member": computed,
+        },
+        "speedup_fleet_vs_single": round(speedup, 2),
+        "bars": {"speedup_min": SPEEDUP_BAR},
+    }
+    path = report_dir / "BENCH_fleet.json"
+    path.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [
+        f"fleet cold-sweep scale-out ({FLEET_SIZE} daemon processes, "
+        f"{len(unique)} unique misses, horizon {HORIZON})",
+        f"  single daemon : {single_rate:7.2f} artifacts/s "
+        f"({single_elapsed:.2f}s)",
+        f"  {FLEET_SIZE}-daemon fleet: {fleet_rate:7.2f} artifacts/s "
+        f"({fleet_elapsed:.2f}s)",
+        f"  speedup       : {speedup:7.2f}x (bar: >= {SPEEDUP_BAR}x)",
+    ]
+    (report_dir / "fleet_scaleout.txt").write_text("\n".join(lines) + "\n")
+    print()
+    for line in lines:
+        print(line)
+
+    assert speedup >= SPEEDUP_BAR, (
+        f"fleet of {FLEET_SIZE} is only {speedup:.2f}x one daemon "
+        f"(bar: {SPEEDUP_BAR}x)"
+    )

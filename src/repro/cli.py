@@ -40,8 +40,12 @@ warm ``--store`` exactly like synthetic ones.
 Remote execution: ``--service URL`` resolves every run against a
 shared ``repro serve`` daemon instead of in-process -- same analysis
 code, same artifacts, one store and worker pool shared by all clients.
-``--service`` excludes ``--store`` (the store is the daemon's), and
-connection failures exit with a clean error message.
+Naming several members (``--service URL1,URL2,...`` or ``@FILE``)
+routes each fingerprint to exactly one daemon of a fleet sharing a
+store root, scaling cold-miss execution across hosts (``repro fleet
+status`` probes the members).  ``--service`` excludes ``--store`` (the
+store is the daemon's), and connection failures exit with a clean
+error message.
 """
 
 from __future__ import annotations
@@ -74,7 +78,13 @@ from repro.experiments.runner import (
 )
 from repro.experiments.scenarios import format_outcomes, run_scenarios
 from repro.reporting import bar_chart, histogram, series_panel
-from repro.service import ExperimentDaemon, ServiceClient, ServiceError
+from repro.service import (
+    ExperimentDaemon,
+    FleetClient,
+    ServiceClient,
+    ServiceError,
+    parse_fleet_spec,
+)
 from repro.service.client import ServiceRunError
 from repro.sim.config import ExperimentConfig, paper_config, scaled_config
 from repro.sim.metrics import format_comparison, format_replicated_comparison
@@ -122,8 +132,11 @@ def _orchestrator_from(args: argparse.Namespace):
     ``--service URL`` swaps the in-process orchestrator for a
     :class:`~repro.service.client.ServiceClient` against a running
     ``repro serve`` daemon -- same futures surface, so every command
-    works unchanged.  The two execution backends are mutually
-    exclusive with ``--store`` (the store lives daemon-side).
+    works unchanged.  Naming several members (``URL1,URL2,...`` or a
+    fleet file) builds a
+    :class:`~repro.service.fleet.FleetClient` instead, fanning miss
+    execution out across the fleet.  The two execution backends are
+    mutually exclusive with ``--store`` (the store lives daemon-side).
     """
     show_progress = (
         args.progress if args.progress is not None else sys.stderr.isatty()
@@ -142,11 +155,19 @@ def _orchestrator_from(args: argparse.Namespace):
                 "capacity is the daemon's; pass --jobs to 'repro serve')"
             )
         try:
-            client = ServiceClient(
-                args.service,
-                use_store=not args.no_cache,
-                progress=progress,
-            )
+            urls = parse_fleet_spec(args.service)
+            if len(urls) > 1:
+                client: ServiceClient | FleetClient = FleetClient(
+                    urls,
+                    use_store=not args.no_cache,
+                    progress=progress,
+                )
+            else:
+                client = ServiceClient(
+                    urls[0],
+                    use_store=not args.no_cache,
+                    progress=progress,
+                )
             client.ping()
         except ServiceError as error:
             raise SystemExit(f"error: {error}") from None
@@ -381,10 +402,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         max_body_bytes=args.max_body_mb << 20,
+        daemon_id=args.daemon_id,
     )
     print(
         f"repro service listening on {daemon.url} "
-        f"(jobs={orchestrator.jobs}, store="
+        f"(id={daemon.daemon_id}, jobs={orchestrator.jobs}, store="
         f"{store.root if store.root else 'memory-only'})",
         file=sys.stderr,
     )
@@ -395,6 +417,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         daemon.close()
     return 0
+
+
+def cmd_fleet_status(args: argparse.Namespace) -> int:
+    """Probe every fleet member; exit 0 only when all are alive."""
+    fleet = FleetClient(parse_fleet_spec(args.service))
+    payload = fleet.status()["fleet"]
+    print(
+        f"{'member':<28} {'state':<6} {'daemon-id':<20} "
+        f"{'jobs':>4} {'inflight':>8} {'queued':>6}"
+    )
+    for member in payload["members"]:
+        if member["alive"]:
+            print(
+                f"{member['url']:<28} {'up':<6} "
+                f"{member['daemon_id'] or '-':<20} "
+                f"{member['jobs'] or 0:>4} {member['inflight'] or 0:>8} "
+                f"{member['queue_depth'] or 0:>6}"
+            )
+        else:
+            print(
+                f"{member['url']:<28} {'down':<6} "
+                f"{member['error'] or 'unreachable'}"
+            )
+    print(f"{payload['alive']}/{payload['total']} members alive")
+    fleet.close()
+    return 0 if payload["alive"] == payload["total"] else 1
 
 
 def cmd_packs(args: argparse.Namespace) -> int:
@@ -595,9 +643,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--service",
             default=None,
-            metavar="URL",
-            help="resolve runs against a 'repro serve' daemon instead of "
-            "in-process (mutually exclusive with --store)",
+            metavar="URLS",
+            help="resolve runs against 'repro serve' daemon(s) instead of "
+            "in-process: one URL, URL1,URL2,... for a fleet, or @FILE "
+            "with one URL per line (mutually exclusive with --store)",
         )
 
     table1 = subparsers.add_parser("table1", help="print Table I")
@@ -682,7 +731,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="reject request bodies larger than this with HTTP 413 "
         "(encoded recorded-trace packs are the big legitimate payload)",
     )
+    serve.add_argument(
+        "--daemon-id",
+        default=None,
+        metavar="ID",
+        help="stable member identity for fleet provenance (default: the "
+        "bound host:port); echoed in /healthz and /stats and stamped "
+        "into every stored artifact's meta",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    fleet = subparsers.add_parser(
+        "fleet", help="fleet introspection (status)"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_status = fleet_sub.add_parser(
+        "status", help="probe every member; exit 0 when all are alive"
+    )
+    fleet_status.add_argument(
+        "--service",
+        required=True,
+        metavar="URLS",
+        help="fleet members: URL1,URL2,... or @FILE with one URL per line",
+    )
+    fleet_status.set_defaults(func=cmd_fleet_status)
 
     store = subparsers.add_parser(
         "store", help="result-store maintenance (ls/gc/migrate/compact)"

@@ -361,6 +361,12 @@ class Orchestrator:
         run of a batch resolves (:meth:`run_many` /
         :meth:`as_resolved`); the CLI uses it to stream run counts
         during sweeps.
+    meta:
+        Extra store-document ``meta`` keys stamped onto every run this
+        orchestrator records, merged over :func:`run_meta`'s derived
+        labels.  Provenance only -- never part of the fingerprint (the
+        service daemon stamps ``{"daemon": <id>}`` here so fleet
+        members are attributable in the shared store).
     """
 
     def __init__(
@@ -369,11 +375,13 @@ class Orchestrator:
         jobs: int = 1,
         use_store: bool = True,
         progress: Callable[[int, int], None] | None = None,
+        meta: dict | None = None,
     ) -> None:
         self.store = store if store is not None else ResultStore()
         self.jobs = max(1, int(jobs))
         self.use_store = use_store
         self.progress = progress
+        self.meta = dict(meta or {})
         self._pool: ProcessPoolExecutor | None = None
         self._inflight: dict[str, Future] = {}
         self._lock = threading.Lock()
@@ -392,7 +400,14 @@ class Orchestrator:
             jobs=jobs,
             use_store=self.use_store,
             progress=self.progress,
+            meta=self.meta,
         )
+
+    def _meta_for(self, request: RunRequest) -> dict:
+        """The store-document meta for one run: derived labels + stamps."""
+        meta = run_meta(request)
+        meta.update(self.meta)
+        return meta
 
     # -- worker-pool lifecycle ---------------------------------------------
 
@@ -497,7 +512,8 @@ class Orchestrator:
         if self.jobs == 1:
             result, elapsed = _timed_execute(request)
             self.store.put(
-                fingerprint, result, request.descriptor(), run_meta(request)
+                fingerprint, result, request.descriptor(),
+                self._meta_for(request),
             )
             return RunFuture.resolved(
                 request,
@@ -560,7 +576,8 @@ class Orchestrator:
         if base.exception() is None:
             result, _ = base.result()
             self.store.put(
-                fingerprint, result, request.descriptor(), run_meta(request)
+                fingerprint, result, request.descriptor(),
+                self._meta_for(request),
             )
         with self._lock:
             self._inflight.pop(fingerprint, None)

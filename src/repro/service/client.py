@@ -49,12 +49,21 @@ per-request POSTs, identity encoding, full detail.
 fetch the full ledger over the wire only when a consumer asks for
 something beyond the headline block.
 
-Connection-level failures raise :class:`ServiceError` (the CLI maps
-it to a clean nonzero exit); a run that *failed on the daemon* raises
-a :class:`ServiceRunError` carrying the daemon-side message.  A
-request that dies on a stale keep-alive socket (the daemon closes
-idle connections server-side) is retried once on a fresh connection
-before any error surfaces.
+Connection-level failures raise :class:`ServiceUnavailable` (a
+:class:`ServiceError` subclass; the CLI maps both to a clean nonzero
+exit, and the fleet router uses the distinction to fail members over
+-- an unreachable daemon is rerouted around, a protocol rejection is
+not); a run that *failed on the daemon* raises a
+:class:`ServiceRunError` carrying the daemon-side message.  A request
+that dies on a stale keep-alive socket (the daemon closes idle
+connections server-side) is retried once on a fresh connection before
+any error surfaces.
+
+The HTTP plumbing lives in :class:`HttpTransport` -- per-thread
+keep-alive connections, the stale-socket retry, gzip negotiation and
+JSONL parsing -- factored out of the client so fleet-level code
+(:mod:`repro.service.fleet`) composes one transport per member
+without duplicating the orchestrator-surface semantics.
 """
 
 from __future__ import annotations
@@ -62,6 +71,7 @@ from __future__ import annotations
 import gzip
 import http.client
 import json
+import os
 import socket
 import threading
 import time
@@ -86,19 +96,46 @@ from repro.service.protocol import (
 )
 from repro.sim.results import RunResult
 
-__all__ = ["ServiceClient", "ServiceError", "ServiceRunError"]
+__all__ = [
+    "HttpTransport",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceRunError",
+    "ServiceUnavailable",
+]
 
-#: Seconds of server-side blocking requested per long-poll/stream call.
+#: Seconds of server-side blocking requested per long-poll/stream call
+#: (constructor-tunable via ``poll_wait_s``; fleet failover tests use
+#: short waits so a dead member is noticed quickly).
 _POLL_WAIT_S = 30.0
 
 #: Fingerprints per ``POST /runs/poll`` chunk (fingerprint-only lines
 #: are ~100 bytes each, so 512 keeps bodies well under a TCP window).
+#: Default only: tunable per client (``poll_chunk=``) or process
+#: (``$REPRO_SERVICE_POLL_CHUNK``) -- fleet fan-out multiplies
+#: per-daemon chunk counts, and the sweet spot shifts with member
+#: count.
 _POLL_CHUNK = 512
 
 #: Encoded requests per ``POST /runs/batch`` chunk.  Entries carry the
 #: full encoded request (for recorded packs, the whole matrix), so
-#: batches chunk far smaller than polls.
+#: batches chunk far smaller than polls.  Default for ``batch_chunk=``
+#: / ``$REPRO_SERVICE_BATCH_CHUNK``.
 _BATCH_CHUNK = 64
+
+
+def _tunable(value, env_var: str, default: int) -> int:
+    """A constructor override, else the env var, else the default."""
+    if value is not None:
+        return max(1, int(value))
+    raw = os.environ.get(env_var)
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return default
+
 
 #: Request bodies below this stay identity even when compression is
 #: on: gzip's header overhead and CPU beat nothing out of tiny JSON.
@@ -120,8 +157,142 @@ class ServiceError(ConnectionError):
     """The daemon is unreachable or answered outside the protocol."""
 
 
+class ServiceUnavailable(ServiceError):
+    """The daemon cannot be reached (or its reply was unreadable).
+
+    Distinct from plain :class:`ServiceError` (a well-delivered
+    protocol rejection: bad envelope, refused run) because the fleet
+    router treats the two differently -- an unreachable member is
+    marked down and its pending work rerouted; a rejection is
+    terminal and surfaces to the caller.
+    """
+
+
 class ServiceRunError(RuntimeError):
     """A run failed on the daemon; carries the daemon-side message."""
+
+
+class HttpTransport:
+    """Per-thread keep-alive HTTP plumbing for one daemon.
+
+    One instance per daemon URL; each calling thread gets its own
+    keep-alive connection (``http.client`` connections are not
+    thread-safe), created lazily with TCP_NODELAY and torn down via
+    :meth:`close`.  Handles the stale-socket retry, request/response
+    gzip and JSONL parsing; everything protocol-level (envelopes,
+    negotiation, futures) stays in :class:`ServiceClient`.
+
+    ``gzip_requests`` starts False and is flipped by the owner once
+    the peer is known to speak wire v2 (v1 daemons do not inflate
+    request bodies).
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout_s: float, compress: bool
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.url = f"http://{host}:{port}"
+        self.timeout_s = timeout_s
+        self.compress = compress
+        self.gzip_requests = False
+        self._local = threading.local()
+
+    def _connection(self, timeout_s: float) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=timeout_s
+            )
+            connection.connect()
+            # Requests also go out as two sends (headers, body); see
+            # the server handler's disable_nagle_algorithm note.
+            connection.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+            self._local.connection = connection
+        else:
+            connection.timeout = timeout_s
+            if connection.sock is not None:
+                connection.sock.settimeout(timeout_s)
+        return connection
+
+    def close(self) -> None:
+        """Drop the calling thread's keep-alive connection."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        timeout_s: float | None = None,
+        stream: bool = False,
+        jsonl: bool = False,
+    ):
+        """One HTTP exchange; returns ``(status, response)``.
+
+        Keep-alive connections are reused per thread; a request that
+        dies on a stale socket is retried once on a fresh one.
+        Returns the live response object when ``stream`` (caller
+        reads/closes); a ``(status, [payload, ...])`` list of parsed
+        JSON lines when ``jsonl``; else ``(status, parsed payload)``.
+        Response bodies arriving ``Content-Encoding: gzip`` are
+        inflated transparently; request bodies above
+        :data:`_COMPRESS_MIN_BYTES` are gzipped once ``gzip_requests``
+        is on.  Connection-level failures raise
+        :class:`ServiceUnavailable`.
+        """
+        timeout_s = self.timeout_s if timeout_s is None else timeout_s
+        headers = {"Content-Type": "application/json"}
+        if self.compress:
+            headers["Accept-Encoding"] = "gzip"
+            if (
+                body is not None
+                and len(body) >= _COMPRESS_MIN_BYTES
+                and self.gzip_requests
+            ):
+                body = gzip.compress(body, compresslevel=6)
+                headers["Content-Encoding"] = "gzip"
+        for attempt in (0, 1):
+            try:
+                connection = self._connection(timeout_s)
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                if stream:
+                    return response.status, response
+                raw = response.read()
+                if response.getheader("Content-Encoding") == "gzip":
+                    raw = gzip.decompress(raw)
+                if response.will_close:
+                    self.close()
+                if jsonl:
+                    return response.status, [
+                        json.loads(line)
+                        for line in raw.splitlines()
+                        if line.strip()
+                    ]
+                return response.status, json.loads(raw)
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                TimeoutError,
+                OSError,
+                json.JSONDecodeError,
+            ) as error:
+                self.close()
+                if attempt == 0 and isinstance(
+                    error, _STALE_SOCKET_ERRORS
+                ):
+                    continue  # stale keep-alive socket; retry once
+                raise ServiceUnavailable(
+                    f"cannot reach experiment service at {self.url}: "
+                    f"{type(error).__name__}: {error}"
+                ) from None
+        raise AssertionError("unreachable")
 
 
 class ServiceClient:
@@ -149,6 +320,13 @@ class ServiceClient:
     compress:
         Negotiate gzip on responses (``Accept-Encoding``) and gzip
         large request bodies once the daemon is known to speak v2.
+    poll_chunk / batch_chunk:
+        Fingerprints per poll chunk / encoded requests per batch
+        chunk.  ``None`` reads ``$REPRO_SERVICE_POLL_CHUNK`` /
+        ``$REPRO_SERVICE_BATCH_CHUNK``, else the module defaults.
+    poll_wait_s:
+        Server-side blocking per long-poll/stream call.  Fleet
+        routing lowers this so a dead member is noticed quickly.
     """
 
     def __init__(
@@ -159,6 +337,9 @@ class ServiceClient:
         timeout_s: float = 10.0,
         detail: str = "full",
         compress: bool = True,
+        poll_chunk: int | None = None,
+        batch_chunk: int | None = None,
+        poll_wait_s: float | None = None,
     ) -> None:
         parts = urlsplit(url if "//" in url else f"http://{url}")
         try:
@@ -184,39 +365,28 @@ class ServiceClient:
         self.timeout_s = timeout_s
         self.detail = check_detail(detail)
         self.compress = compress
+        self.poll_chunk = _tunable(
+            poll_chunk, "REPRO_SERVICE_POLL_CHUNK", _POLL_CHUNK
+        )
+        self.batch_chunk = _tunable(
+            batch_chunk, "REPRO_SERVICE_BATCH_CHUNK", _BATCH_CHUNK
+        )
+        self.poll_wait_s = (
+            _POLL_WAIT_S if poll_wait_s is None else float(poll_wait_s)
+        )
         self.jobs = 0  # execution capacity lives daemon-side
         self.wire_version = WIRE_VERSION
         self._negotiated = False
-        self._local = threading.local()
+        self._transport = HttpTransport(
+            self.host, self.port, timeout_s, compress
+        )
         self._lock = threading.Lock()
         self._pending: dict[str, Future] = {}
 
     # -- HTTP plumbing -----------------------------------------------------
 
-    def _connection(self, timeout_s: float) -> http.client.HTTPConnection:
-        connection = getattr(self._local, "connection", None)
-        if connection is None:
-            connection = http.client.HTTPConnection(
-                self.host, self.port, timeout=timeout_s
-            )
-            connection.connect()
-            # Requests also go out as two sends (headers, body); see
-            # the server handler's disable_nagle_algorithm note.
-            connection.sock.setsockopt(
-                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
-            )
-            self._local.connection = connection
-        else:
-            connection.timeout = timeout_s
-            if connection.sock is not None:
-                connection.sock.settimeout(timeout_s)
-        return connection
-
     def _drop_connection(self) -> None:
-        connection = getattr(self._local, "connection", None)
-        if connection is not None:
-            connection.close()
-            self._local.connection = None
+        self._transport.close()
 
     def _request(
         self,
@@ -227,69 +397,18 @@ class ServiceClient:
         stream: bool = False,
         jsonl: bool = False,
     ):
-        """One HTTP exchange; returns ``(status, response)``.
-
-        Keep-alive connections are reused per thread; a request that
-        dies on a stale socket is retried once on a fresh one.
-        Returns the live response object when ``stream`` (caller
-        reads/closes); a ``(status, [payload, ...])`` list of parsed
-        JSON lines when ``jsonl``; else ``(status, parsed payload)``.
-        Response bodies arriving ``Content-Encoding: gzip`` are
-        inflated transparently; request bodies above
-        :data:`_COMPRESS_MIN_BYTES` are gzipped once the daemon has
-        been confirmed to speak wire v2.
-        """
-        timeout_s = self.timeout_s if timeout_s is None else timeout_s
-        headers = {"Content-Type": "application/json"}
-        if self.compress:
-            headers["Accept-Encoding"] = "gzip"
-            if (
-                body is not None
-                and len(body) >= _COMPRESS_MIN_BYTES
-                and self._negotiated
-                and self.wire_version >= 2
-            ):
-                body = gzip.compress(body, compresslevel=6)
-                headers["Content-Encoding"] = "gzip"
-        for attempt in (0, 1):
-            try:
-                connection = self._connection(timeout_s)
-                connection.request(method, path, body=body, headers=headers)
-                response = connection.getresponse()
-                if stream:
-                    return response.status, response
-                raw = response.read()
-                if response.getheader("Content-Encoding") == "gzip":
-                    raw = gzip.decompress(raw)
-                if response.will_close:
-                    self._drop_connection()
-                if jsonl:
-                    return response.status, [
-                        json.loads(line)
-                        for line in raw.splitlines()
-                        if line.strip()
-                    ]
-                return response.status, json.loads(raw)
-            except (
-                http.client.HTTPException,
-                ConnectionError,
-                TimeoutError,
-                OSError,
-                json.JSONDecodeError,
-            ) as error:
-                self._drop_connection()
-                if attempt == 0 and isinstance(
-                    error, _STALE_SOCKET_ERRORS
-                ):
-                    continue  # stale keep-alive socket; retry once
-                raise ServiceError(
-                    f"cannot reach experiment service at {self.url}: "
-                    f"{type(error).__name__}: {error}"
-                ) from None
-        raise AssertionError("unreachable")
+        """One HTTP exchange via the transport; see its docstring."""
+        return self._transport.request(
+            method,
+            path,
+            body=body,
+            timeout_s=timeout_s,
+            stream=stream,
+            jsonl=jsonl,
+        )
 
     def ping(self) -> dict:
-        """``GET /healthz``; raises :class:`ServiceError` if down.
+        """``GET /healthz``; raises :class:`ServiceUnavailable` if down.
 
         Also pins the wire version: the daemon advertises what it
         accepts (v1 daemons advertise nothing, meaning ``[1]``) and
@@ -297,7 +416,7 @@ class ServiceClient:
         """
         status, payload = self._request("GET", "/healthz")
         if status != 200 or payload.get("status") != "ok":
-            raise ServiceError(
+            raise ServiceUnavailable(
                 f"experiment service at {self.url} is unhealthy: "
                 f"HTTP {status} {payload!r}"
             )
@@ -320,6 +439,7 @@ class ServiceClient:
             )
         self.wire_version = max(common)
         self._negotiated = True
+        self._transport.gzip_requests = self.wire_version >= 2
 
     def _ensure_negotiated(self) -> bool:
         """Pin the wire version if not yet done; True = v2 available."""
@@ -402,7 +522,7 @@ class ServiceClient:
             with self._lock:
                 if fingerprint not in self._pending:
                     return  # settled by a concurrent stream/poll
-            wait_s = _POLL_WAIT_S
+            wait_s = self.poll_wait_s
             if deadline is not None:
                 wait_s = min(wait_s, deadline - time.monotonic())
                 if wait_s <= 0:
@@ -472,26 +592,31 @@ class ServiceClient:
             probed = self._probe(request, fingerprint, detail)
             if probed is not None:
                 return probed
+        sent_version = self.wire_version
         body = json.dumps(
             encode_request(
                 request,
                 fingerprint,
                 use_store=use_store,
-                wire_version=self.wire_version,
+                wire_version=sent_version,
                 detail=detail,
             )
         ).encode()
         status, payload = self._request("POST", "/runs", body=body)
         if (
             status == 400
-            and not self._negotiated
-            and self.wire_version > 1
+            and sent_version > 1
             and "wire version" in str(payload.get("error", ""))
         ):
             # An old daemon refused the v2 envelope: pin v1 and retry
             # (the one-shot downgrade mirror of ping()'s negotiation).
+            # Keyed off the version this request was *sent* at, not
+            # the current shared state: a thread whose envelope was
+            # already encoded at v2 when a sibling pinned v1 lands
+            # here *after* negotiation and must retry, not error.
             self.wire_version = 1
             self._negotiated = True
+            self._transport.gzip_requests = False
             return self.submit(request, use_store=use_store)
         future: Future = Future()
         handle = _ClientRunFuture(self, request, fingerprint, future, detail)
@@ -617,7 +742,7 @@ class ServiceClient:
                     # fresh submission retries, like single submit.
                     need_post.append(fingerprint)
         # Phase 2: ship the rest in chunked batch POSTs.
-        for chunk in _chunked(need_post, _BATCH_CHUNK):
+        for chunk in _chunked(need_post, self.batch_chunk):
             entries = [
                 encode_request(
                     fresh[fingerprint],
@@ -718,7 +843,7 @@ class ServiceClient:
         self, fingerprints: list[str], detail: str
     ) -> Iterator[tuple[str, dict]]:
         """Chunked no-wait ``POST /runs/poll``; yields (fp, payload)."""
-        for chunk in _chunked(fingerprints, _POLL_CHUNK):
+        for chunk in _chunked(fingerprints, self.poll_chunk):
             body = json.dumps(encode_poll(chunk, 0.0, detail)).encode()
             status, payloads = self._request(
                 "POST", "/runs/poll", body=body, jsonl=True
@@ -764,7 +889,7 @@ class ServiceClient:
         use_v2 = bool(pending) and self._ensure_negotiated()
         deadline = None if timeout is None else time.monotonic() + timeout
         while pending:
-            wait_s = _POLL_WAIT_S
+            wait_s = self.poll_wait_s
             if deadline is not None:
                 wait_s = min(wait_s, deadline - time.monotonic())
                 if wait_s <= 0:
@@ -817,7 +942,9 @@ class ServiceClient:
         order); follow-up chunks are no-wait buffered polls, so one
         round costs ``ceil(n/chunk)`` exchanges but blocks only once.
         """
-        for index, chunk in enumerate(_chunked(fingerprints, _POLL_CHUNK)):
+        for index, chunk in enumerate(
+            _chunked(fingerprints, self.poll_chunk)
+        ):
             chunk_wait = wait_s if index == 0 else 0.0
             body = json.dumps(
                 encode_poll(chunk, chunk_wait, detail)
@@ -887,7 +1014,7 @@ class ServiceClient:
         except (ConnectionError, TimeoutError, OSError) as error:
             if isinstance(error, ServiceError):
                 raise
-            raise ServiceError(
+            raise ServiceUnavailable(
                 f"stream from {self.url} died: {type(error).__name__}: "
                 f"{error}"
             ) from None

@@ -53,6 +53,7 @@ __all__ = [
     "encode_artifact",
     "encode_batch",
     "encode_error",
+    "encode_health",
     "encode_pending",
     "encode_poll",
     "encode_request",
@@ -306,6 +307,33 @@ def encode_pending(
         "wire_version": wire_version,
         "kind": "pending",
         "fingerprint": fingerprint,
+    }
+
+
+def encode_health(
+    daemon_id: str,
+    jobs: int,
+    inflight: int,
+    queue_depth: int,
+) -> dict:
+    """The ``GET /healthz`` payload: liveness plus load.
+
+    Besides the original liveness/negotiation fields this carries the
+    member's identity and load so a fleet router can weight or skip
+    saturated members without a second ``/stats`` round trip:
+    ``jobs`` (executor width), ``inflight`` (runs executing or queued
+    daemon-side) and ``queue_depth`` (``max(0, inflight - jobs)`` --
+    work that cannot start until a slot frees).
+    """
+    return {
+        "wire_version": WIRE_VERSION,
+        "supported_wire_versions": list(SUPPORTED_WIRE_VERSIONS),
+        "kind": "health",
+        "status": "ok",
+        "daemon_id": daemon_id,
+        "jobs": int(jobs),
+        "inflight": int(inflight),
+        "queue_depth": int(queue_depth),
     }
 
 

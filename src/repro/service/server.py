@@ -104,6 +104,7 @@ from repro.service.protocol import (
     decode_request,
     encode_artifact,
     encode_error,
+    encode_health,
     encode_pending,
 )
 
@@ -163,6 +164,12 @@ class ExperimentDaemon:
     idle_timeout_s:
         Keep-alive connections idle this long are closed server-side;
         ``None`` disables the idle reaper (connections park forever).
+    daemon_id:
+        Stable member identity for fleet provenance (default
+        ``host:port`` of the bound address).  Echoed in ``/healthz``
+        and ``/stats`` and stamped into every artifact this daemon
+        records (the store document's ``meta.daemon``), so a sweep
+        spread over a fleet remains attributable per member.
     """
 
     def __init__(
@@ -172,10 +179,12 @@ class ExperimentDaemon:
         port: int = 0,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         idle_timeout_s: float | None = DEFAULT_IDLE_TIMEOUT_S,
+        daemon_id: str | None = None,
     ) -> None:
         self.orchestrator = orchestrator
         self.max_body_bytes = int(max_body_bytes)
         self.idle_timeout_s = idle_timeout_s
+        self._killed = False
         self._futures: dict[str, RunFuture] = {}
         self._errors: OrderedDict[str, str] = OrderedDict()
         self._responses: OrderedDict[tuple, bytes] = OrderedDict()
@@ -200,6 +209,12 @@ class ExperimentDaemon:
         handler = _build_handler(self)
         self._server = ThreadingHTTPServer((host, port), handler)
         self._server.daemon_threads = True
+        bound_host, bound_port = self.address
+        self.daemon_id = daemon_id or f"{bound_host}:{bound_port}"
+        # Fleet provenance: every artifact this daemon records carries
+        # the member that executed it.  setdefault so an orchestrator
+        # built with explicit provenance meta keeps it.
+        self.orchestrator.meta.setdefault("daemon", self.daemon_id)
         self._thread: threading.Thread | None = None
         self._serial: ThreadPoolExecutor | None = None
 
@@ -238,6 +253,27 @@ class ExperimentDaemon:
                 max_workers=1, thread_name_prefix="repro-serial-run"
             )
         return self._serial
+
+    def kill(self) -> None:
+        """Drop off the network abruptly (the fleet-failure drill).
+
+        Unlike :meth:`close` this models a member dying mid-sweep:
+        the listening socket closes (new connections are refused),
+        in-flight handler threads drop their connections without
+        replying (clients observe a connection-level failure, not a
+        clean protocol answer), and long-polls/streams wake within
+        ~0.25 s instead of running out their ``wait``.  The
+        orchestrator is left alone -- runs already executing drain
+        into the shared store, which is safe because re-execution on
+        a surviving member is idempotent.  Call :meth:`close` after
+        for full teardown (idempotent).
+        """
+        self._killed = True
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
 
     def close(self) -> None:
         """Stop serving and shut the orchestrator's pool down."""
@@ -580,8 +616,14 @@ class ExperimentDaemon:
                     encode_pending(fingerprint, wire_version=version)
                 ), "identity"
             try:
-                future.result(timeout=remaining)
+                # Chunked so a killed daemon's parked long-polls wake
+                # within ~0.25 s instead of running out their wait.
+                future.result(timeout=min(remaining, 0.25))
             except FutureTimeoutError:
+                if self._killed:
+                    # Sentinel: the handler drops the connection
+                    # without a reply (the member is "gone").
+                    return 0, b"", "identity"
                 continue
             except Exception:  # resolved to an error; loop reports it
                 continue
@@ -630,6 +672,11 @@ class ExperimentDaemon:
             else:
                 pending[future._future] = fingerprint
         while pending:
+            if self._killed:
+                # Ending the close-delimited stream early leaves the
+                # remaining runs pending; the client's next round hits
+                # the closed socket and fails the member over.
+                return
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 for fingerprint in pending.values():
@@ -638,7 +685,9 @@ class ExperimentDaemon:
                     ) + b"\n"
                 return
             done_now, _ = wait(
-                pending, timeout=remaining, return_when=FIRST_COMPLETED
+                pending,
+                timeout=min(remaining, 0.25),
+                return_when=FIRST_COMPLETED,
             )
             for base in done_now:
                 fingerprint = pending.pop(base)
@@ -677,22 +726,47 @@ class ExperimentDaemon:
             + b"\n"
         )
 
+    def _load(self) -> tuple[int, int]:
+        """Current ``(inflight, queue_depth)``.
+
+        ``inflight`` counts runs executing or queued daemon-side (the
+        registry and the orchestrator's dedup table can each lead
+        during handoff, so take the max); ``queue_depth`` is the part
+        that cannot start until an executor slot frees.
+        """
+        with self._lock:
+            inflight = len(self._futures)
+        inflight = max(inflight, self.orchestrator.inflight_count())
+        return inflight, max(0, inflight - max(self.orchestrator.jobs, 1))
+
+    def health(self) -> dict:
+        """The ``GET /healthz`` payload: liveness plus load and identity."""
+        inflight, queue_depth = self._load()
+        return encode_health(
+            self.daemon_id,
+            self.orchestrator.jobs,
+            inflight=inflight,
+            queue_depth=queue_depth,
+        )
+
     def stats(self) -> dict:
         """The ``/stats`` payload."""
         with self._lock:
             counters = dict(self.counters)
             wire = dict(self.wire_counters)
-            inflight = len(self._futures)
             latencies = sorted(self._latencies)
         wire["request_p50_ms"] = _percentile_ms(latencies, 50.0)
         wire["request_p99_ms"] = _percentile_ms(latencies, 99.0)
+        inflight, queue_depth = self._load()
         return {
             "wire_version": WIRE_VERSION,
             "supported_wire_versions": list(SUPPORTED_WIRE_VERSIONS),
             "kind": "stats",
+            "daemon_id": self.daemon_id,
             "uptime_s": time.time() - self._started,
             "jobs": self.orchestrator.jobs,
-            "inflight": max(inflight, self.orchestrator.inflight_count()),
+            "inflight": inflight,
+            "queue_depth": queue_depth,
             "store": self.orchestrator.store.stats(),
             "wire": wire,
             **counters,
@@ -907,6 +981,12 @@ def _build_handler(daemon: ExperimentDaemon) -> type:
             self._route(self._handle_post)
 
         def _route(self, handle) -> None:
+            if daemon._killed:
+                # A killed member must look dead, not politely refuse:
+                # drop the keep-alive connection without a reply so
+                # clients observe a connection-level failure.
+                self.close_connection = True
+                return
             daemon._count("requests")
             started = time.perf_counter()
             try:
@@ -920,19 +1000,7 @@ def _build_handler(daemon: ExperimentDaemon) -> type:
             wait = _float_param(query, "wait", 0.0)
             path = parts.path.rstrip("/")
             if path == "/healthz":
-                self._reply(
-                    200,
-                    _dumps(
-                        {
-                            "wire_version": WIRE_VERSION,
-                            "supported_wire_versions": list(
-                                SUPPORTED_WIRE_VERSIONS
-                            ),
-                            "kind": "health",
-                            "status": "ok",
-                        }
-                    ),
-                )
+                self._reply(200, _dumps(daemon.health()))
                 return
             if path == "/stats":
                 self._reply(200, _dumps(daemon.stats()))
@@ -986,6 +1054,9 @@ def _build_handler(daemon: ExperimentDaemon) -> type:
                 status, body, used = daemon.handle_poll(
                     fingerprint, wait, version, detail, encoding
                 )
+                if status == 0:  # killed mid-wait; drop the connection
+                    self.close_connection = True
+                    return
                 self._reply(status, body, encoding=used)
                 return
             self._reply(

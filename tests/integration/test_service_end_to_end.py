@@ -27,11 +27,29 @@ def tiny_config():
     return scaled_config("tiny", seed=0).with_horizon(2)
 
 
-def canonical_documents(store: ResultStore) -> dict[str, str]:
-    return {
-        fingerprint: json.dumps(document, sort_keys=True)
-        for fingerprint, document in store.documents()
-    }
+def canonical_documents(
+    store: ResultStore, expect_daemon: str | None = None
+) -> dict[str, str]:
+    """Store documents as canonical JSON, provenance normalized out.
+
+    Daemon-recorded documents carry ``meta.daemon`` (which member
+    executed the run); in-process ones do not.  Byte-identity is
+    asserted on everything else; when ``expect_daemon`` is given,
+    every document must carry exactly that provenance stamp.
+    """
+    canonical = {}
+    for fingerprint, document in store.documents():
+        document = dict(document)
+        meta = dict(document.get("meta") or {})
+        daemon = meta.pop("daemon", None)
+        if expect_daemon is not None:
+            assert daemon == expect_daemon, fingerprint
+        if meta:
+            document["meta"] = meta
+        else:
+            document.pop("meta", None)
+        canonical[fingerprint] = json.dumps(document, sort_keys=True)
+    return canonical
 
 
 def test_scenario_sweep_is_byte_identical(tiny_config, tmp_path):
@@ -53,8 +71,11 @@ def test_scenario_sweep_is_byte_identical(tiny_config, tmp_path):
     # Identical analysis outcomes (dataclasses of floats -- exact).
     assert remote_outcomes == local_outcomes
 
-    # Identical store contents: same fingerprints, same bytes.
-    remote_docs = canonical_documents(service_store)
+    # Identical store contents: same fingerprints, same bytes (modulo
+    # the daemon's provenance stamp, which must name the daemon).
+    remote_docs = canonical_documents(
+        service_store, expect_daemon=daemon.daemon_id
+    )
     local_docs = canonical_documents(local_store)
     assert set(remote_docs) == set(local_docs)
     assert len(remote_docs) == 12  # 3 scenarios x 4 policies

@@ -55,14 +55,23 @@ class TestHealthAndStats:
             "supported_wire_versions": list(SUPPORTED_WIRE_VERSIONS),
             "kind": "health",
             "status": "ok",
+            "daemon_id": daemon.daemon_id,
+            "jobs": daemon.orchestrator.jobs,
+            "inflight": 0,
+            "queue_depth": 0,
         }
+        # The default identity is the bound host:port.
+        host, port = daemon.address
+        assert payload["daemon_id"] == f"{host}:{port}"
 
     def test_stats_shape(self, daemon):
         status, payload = get(daemon.url, "/stats")
         assert status == 200
         for key in ("submitted", "hits", "computed", "errors", "inflight",
-                    "store", "jobs", "uptime_s"):
+                    "store", "jobs", "uptime_s", "daemon_id",
+                    "queue_depth"):
             assert key in payload
+        assert payload["daemon_id"] == daemon.daemon_id
 
     def test_unknown_endpoint_404(self, daemon):
         status, payload = get(daemon.url, "/nope")

@@ -6,12 +6,9 @@ import gzip
 import http.client
 import json
 import socket
-import threading
 import time
 import urllib.error
 import urllib.request
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import urlsplit
 
 import pytest
 
@@ -19,7 +16,6 @@ from repro.experiments.orchestrator import Orchestrator, ResultStore
 from repro.service import ServiceClient
 from repro.service.protocol import (
     WIRE_VERSION,
-    encode_artifact,
     encode_batch,
     encode_poll,
     encode_request,
@@ -112,86 +108,10 @@ class TestV1ClientAgainstV2Server:
         assert "result" in lines[0]
 
 
-def _start_v1_stub(artifact_payload):
-    """A minimal wire-v1 daemon: refuses v2 envelopes, serves one run."""
-    posts: list[tuple[str, dict]] = []
-
-    def error_payload(message, status):
-        return {
-            "wire_version": 1,
-            "kind": "error",
-            "error": message,
-            "status": status,
-        }
-
-    class V1Handler(BaseHTTPRequestHandler):
-        protocol_version = "HTTP/1.1"
-
-        def log_message(self, format, *args):  # noqa: A002
-            pass
-
-        def _send(self, status, payload):
-            body = json.dumps(payload).encode()
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
-
-        def do_GET(self):  # noqa: N802
-            path = urlsplit(self.path).path.rstrip("/")
-            if path == "/healthz":
-                # No supported_wire_versions: how v1 daemons look.
-                self._send(
-                    200,
-                    {"wire_version": 1, "kind": "health", "status": "ok"},
-                )
-            elif path.startswith("/runs/"):
-                self._send(
-                    404, error_payload("unknown fingerprint", 404)
-                )
-            else:
-                self._send(404, error_payload("no such endpoint", 404))
-
-        def do_POST(self):  # noqa: N802
-            length = int(self.headers.get("Content-Length", "0"))
-            payload = json.loads(self.rfile.read(length))
-            path = urlsplit(self.path).path.rstrip("/")
-            posts.append((path, payload))
-            if path != "/runs":
-                self._send(404, error_payload("no such endpoint", 404))
-            elif payload.get("wire_version") != 1:
-                self._send(
-                    400,
-                    error_payload(
-                        "expected a run_request payload at wire version 1",
-                        400,
-                    ),
-                )
-            else:
-                self._send(200, artifact_payload)
-
-    server = ThreadingHTTPServer(("127.0.0.1", 0), V1Handler)
-    server.daemon_threads = True
-    threading.Thread(target=server.serve_forever, daemon=True).start()
-    return server, posts
-
-
-@pytest.fixture
-def v1_stub(tmp_path, tiny_requests):
-    """(url, request, posts) of a stub v1 daemon serving one artifact."""
-    request = tiny_requests[0]
-    with Orchestrator(store=ResultStore(tmp_path / "v1-store")) as local:
-        artifact = local.run(request)
-    payload = encode_artifact(artifact, wire_version=1)
-    server, posts = _start_v1_stub(payload)
-    host, port = server.server_address[:2]
-    yield f"http://{host}:{port}", request, posts
-    server.shutdown()
-    server.server_close()
-
-
 class TestV2ClientAgainstV1Server:
+    # The v1 stub daemon (and the v1_stub fixture) live in conftest.py,
+    # shared with the fleet tests' concurrent pin-down coverage.
+
     def test_ping_negotiates_down(self, v1_stub):
         url, request, posts = v1_stub
         client = ServiceClient(url)

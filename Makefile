@@ -31,7 +31,8 @@ bench-smoke:
 		benchmarks/bench_scaling.py benchmarks/bench_datacorr.py \
 		benchmarks/bench_store.py benchmarks/bench_green.py \
 		benchmarks/bench_service.py benchmarks/bench_fleet.py \
-		-k "orchestrator or it_power or response_latencies or datacorr or store or green or service or fleet" \
+		benchmarks/bench_workload_cache.py \
+		-k "orchestrator or it_power or response_latencies or datacorr or store or green or service or fleet or workload" \
 		--benchmark-min-rounds=3
 
 # Nightly follow-up to bench-smoke: compact the segment store the

@@ -177,6 +177,7 @@ def _orchestrator_from(args: argparse.Namespace):
         jobs=args.jobs,
         use_store=not args.no_cache,
         progress=progress,
+        workload_cache=args.workload_cache,
     )
 
 
@@ -396,7 +397,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             "(results vanish with the daemon)",
             file=sys.stderr,
         )
-    orchestrator = Orchestrator(store=store, jobs=args.jobs)
+    orchestrator = Orchestrator(
+        store=store, jobs=args.jobs, workload_cache=args.workload_cache
+    )
     daemon = ExperimentDaemon(
         orchestrator,
         host=args.host,
@@ -419,13 +422,29 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workload_cache_cell(stats: dict | None) -> str:
+    """Compact per-member workload-cache column for ``fleet status``.
+
+    ``hits/lookups @ MiB`` for an enabled cache, ``off`` when the
+    member disabled it, ``-`` for old daemons that don't report one.
+    """
+    if not stats:
+        return "-"
+    if not stats.get("enabled"):
+        return "off"
+    hits = stats.get("hits", 0)
+    lookups = hits + stats.get("misses", 0)
+    mib = stats.get("bytes", 0) / (1 << 20)
+    return f"{hits}/{lookups} @ {mib:.0f}MiB"
+
+
 def cmd_fleet_status(args: argparse.Namespace) -> int:
     """Probe every fleet member; exit 0 only when all are alive."""
     fleet = FleetClient(parse_fleet_spec(args.service))
     payload = fleet.status()["fleet"]
     print(
         f"{'member':<28} {'state':<6} {'daemon-id':<20} "
-        f"{'jobs':>4} {'inflight':>8} {'queued':>6}"
+        f"{'jobs':>4} {'inflight':>8} {'queued':>6} {'wl-cache':>14}"
     )
     for member in payload["members"]:
         if member["alive"]:
@@ -433,7 +452,8 @@ def cmd_fleet_status(args: argparse.Namespace) -> int:
                 f"{member['url']:<28} {'up':<6} "
                 f"{member['daemon_id'] or '-':<20} "
                 f"{member['jobs'] or 0:>4} {member['inflight'] or 0:>8} "
-                f"{member['queue_depth'] or 0:>6}"
+                f"{member['queue_depth'] or 0:>6} "
+                f"{_workload_cache_cell(member.get('workload_cache')):>14}"
             )
         else:
             print(
@@ -648,6 +668,16 @@ def build_parser() -> argparse.ArgumentParser:
             "in-process: one URL, URL1,URL2,... for a fleet, or @FILE "
             "with one URL per line (mutually exclusive with --store)",
         )
+        sub.add_argument(
+            "--workload-cache",
+            type=int,
+            default=None,
+            metavar="N",
+            help="workload materializations kept warm per process "
+            "(0 disables the cache and its shared-memory fan-out; "
+            "default: $REPRO_WORKLOAD_CACHE or 4); results are "
+            "byte-identical either way",
+        )
 
     table1 = subparsers.add_parser("table1", help="print Table I")
     add_common(table1)
@@ -738,6 +768,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="stable member identity for fleet provenance (default: the "
         "bound host:port); echoed in /healthz and /stats and stamped "
         "into every stored artifact's meta",
+    )
+    serve.add_argument(
+        "--workload-cache",
+        type=int,
+        default=None,
+        metavar="N",
+        help="workload materializations kept warm per process across "
+        "client requests (0 disables; default: $REPRO_WORKLOAD_CACHE "
+        "or 4); counters surface in /stats as 'workload_cache'",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -60,6 +60,7 @@ import dataclasses
 import enum
 import hashlib
 import json
+import os
 import threading
 import time
 import weakref
@@ -67,6 +68,7 @@ from concurrent.futures import Future, ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.experiments.sticky import StickyPool
 from repro.sim.config import ExperimentConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.results import RunResult
@@ -77,7 +79,22 @@ from repro.store import (
     ResultStore,
     shard_slug,
 )
+from repro.workload.materialize import (
+    DEFAULT_CACHE_MATERIALIZATIONS,
+    DEFAULT_SLOT_BUDGET_BYTES,
+    MaterializationCache,
+    configure_process_cache,
+    materialization_key,
+    process_cache,
+)
 from repro.workload.packs import TracePack
+from repro.workload.shm import SharedPackStub, SharedWorkloadPublisher
+
+#: Environment knobs for the workload materialization cache.  They
+#: configure *execution*, never identity: no fingerprint ever sees
+#: them (cache on/off/size produces byte-identical artifacts).
+WORKLOAD_CACHE_ENV_VAR = "REPRO_WORKLOAD_CACHE"
+WORKLOAD_CACHE_MB_ENV_VAR = "REPRO_WORKLOAD_CACHE_MB"
 
 __all__ = [
     "EngineOptions",
@@ -332,8 +349,101 @@ def _timed_execute(request: RunRequest) -> tuple[RunResult, float]:
     return result, time.perf_counter() - start
 
 
-def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+def _materialization_key_of(request: RunRequest) -> str:
+    """The request's workload materialization key, memoized like
+    :meth:`RunRequest.fingerprint` (requests are value-stable)."""
+    cached = request.__dict__.get("_materialization_key")
+    if cached is None:
+        cached = materialization_key(
+            request.resolved_config(),
+            request.pack,
+            request.options.vectorized,
+        )
+        object.__setattr__(request, "_materialization_key", cached)
+    return cached
+
+
+@dataclass(frozen=True)
+class _WorkerTask:
+    """One pooled run plus its workload-cache routing envelope.
+
+    When ``stub`` is set the request travels with ``pack=None`` and
+    the worker re-attaches the pack zero-copy from shared memory;
+    fingerprints are always computed parent-side from the original
+    request, so the stripped copy never needs one.
+    """
+
+    request: RunRequest
+    key: str
+    stub: SharedPackStub | None = None
+
+
+def _timed_execute_task(
+    task: _WorkerTask, cache: MaterializationCache | None = None
+) -> tuple[RunResult, float, dict]:
+    """Worker-side entry for cached runs.
+
+    Resolves the task's materialization from the per-process cache
+    (building it on miss), restores a shared-memory pack when one was
+    published, and returns the run plus a cache-stats snapshot tagged
+    with the worker pid -- the parent keeps the latest snapshot per
+    pid and sums them for :meth:`Orchestrator.workload_cache_stats`.
+    """
+    start = time.perf_counter()
+    if cache is None:
+        cache = process_cache()
+    request = task.request
+    if task.stub is not None:
+        request = dataclasses.replace(request, pack=task.stub.restore())
+    materialization = cache.materialize(
+        request.resolved_config(),
+        request.pack,
+        request.options.vectorized,
+    )
+    if materialization.key != task.key:
+        raise RuntimeError(
+            "workload materialization key diverged between parent "
+            f"({task.key[:12]}) and worker ({materialization.key[:12]})"
+        )
+    engine = SimulationEngine(
+        request.resolved_config(),
+        request.policy,
+        validate=request.options.validate,
+        clairvoyant=request.options.clairvoyant,
+        vectorized=request.options.vectorized,
+        materialization=materialization,
+    )
+    result = engine.run()
+    elapsed = time.perf_counter() - start
+    stats = dict(cache.stats())
+    stats["pid"] = os.getpid()
+    return result, elapsed, stats
+
+
+def _unpack_payload(payload) -> tuple[RunResult, float, dict | None]:
+    """Normalize worker payloads: cached tasks add a stats snapshot."""
+    if len(payload) == 3:
+        return payload
+    result, elapsed = payload
+    return result, elapsed, None
+
+
+def _shutdown_pool(pool) -> None:
     pool.shutdown(wait=False)
+
+
+def _close_publisher(publisher: SharedWorkloadPublisher) -> None:
+    publisher.close()
 
 
 class Orchestrator:
@@ -367,6 +477,16 @@ class Orchestrator:
         labels.  Provenance only -- never part of the fingerprint (the
         service daemon stamps ``{"daemon": <id>}`` here so fleet
         members are attributable in the shared store).
+    workload_cache:
+        Materializations each process keeps warm (LRU entries).  ``0``
+        disables the whole workload-cache layer -- plain pool, full
+        pack pickling, per-run workload builds, exactly the pre-cache
+        execution path.  ``None`` (default) reads
+        ``REPRO_WORKLOAD_CACHE`` and falls back to
+        :data:`~repro.workload.materialize.DEFAULT_CACHE_MATERIALIZATIONS`.
+        Per-materialization realized-slot budgets come from
+        ``REPRO_WORKLOAD_CACHE_MB``.  Execution detail only: artifacts
+        and fingerprints are byte-identical either way.
     """
 
     def __init__(
@@ -376,13 +496,28 @@ class Orchestrator:
         use_store: bool = True,
         progress: Callable[[int, int], None] | None = None,
         meta: dict | None = None,
+        workload_cache: int | None = None,
     ) -> None:
         self.store = store if store is not None else ResultStore()
         self.jobs = max(1, int(jobs))
         self.use_store = use_store
         self.progress = progress
         self.meta = dict(meta or {})
-        self._pool: ProcessPoolExecutor | None = None
+        if workload_cache is None:
+            workload_cache = _env_int(
+                WORKLOAD_CACHE_ENV_VAR, DEFAULT_CACHE_MATERIALIZATIONS
+            )
+        self.workload_cache = max(0, int(workload_cache))
+        self.slot_budget_bytes = (
+            _env_int(
+                WORKLOAD_CACHE_MB_ENV_VAR, DEFAULT_SLOT_BUDGET_BYTES >> 20
+            )
+            << 20
+        )
+        self._pool: ProcessPoolExecutor | StickyPool | None = None
+        self._publisher: SharedWorkloadPublisher | None = None
+        self._local_cache: MaterializationCache | None = None
+        self._worker_stats: dict[int, dict] = {}
         self._inflight: dict[str, Future] = {}
         self._lock = threading.Lock()
 
@@ -401,6 +536,7 @@ class Orchestrator:
             use_store=self.use_store,
             progress=self.progress,
             meta=self.meta,
+            workload_cache=self.workload_cache,
         )
 
     def _meta_for(self, request: RunRequest) -> dict:
@@ -411,19 +547,46 @@ class Orchestrator:
 
     # -- worker-pool lifecycle ---------------------------------------------
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    def _ensure_pool(self) -> ProcessPoolExecutor | StickyPool:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            if self.workload_cache > 0:
+                # Sticky, key-affine workers with the per-process
+                # materialization cache installed at spawn.
+                self._pool = StickyPool(
+                    self.jobs,
+                    initializer=configure_process_cache,
+                    initargs=(self.workload_cache, self.slot_budget_bytes),
+                )
+                self._publisher = SharedWorkloadPublisher()
+                weakref.finalize(self, _close_publisher, self._publisher)
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
             # Workers outlive batches (submissions stream), but must
             # not outlive the orchestrator.
             weakref.finalize(self, _shutdown_pool, self._pool)
         return self._pool
+
+    def _ensure_local_cache(self) -> MaterializationCache:
+        """The in-process cache behind serial (``jobs == 1``) runs.
+
+        Owned by the orchestrator, so a long-lived daemon reuses
+        materializations across client requests.
+        """
+        if self._local_cache is None:
+            self._local_cache = MaterializationCache(
+                size=self.workload_cache,
+                slot_budget_bytes=self.slot_budget_bytes,
+            )
+        return self._local_cache
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent; pending runs finish)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._publisher is not None:
+            self._publisher.close()
+            self._publisher = None
 
     def __enter__(self) -> "Orchestrator":
         return self
@@ -501,6 +664,41 @@ class Orchestrator:
         with self._lock:
             return len(self._inflight)
 
+    def workload_cache_stats(self) -> dict:
+        """Aggregate workload-cache efficacy across every process.
+
+        Sums the serial in-process cache with the latest snapshot each
+        pool worker returned (workers report absolute counters, so the
+        latest per pid is the total per pid).  Surfaced by the service
+        daemon's ``/stats`` and ``repro fleet status``.
+        """
+        stats = {
+            "enabled": self.workload_cache > 0,
+            "size": self.workload_cache,
+            "hits": 0,
+            "misses": 0,
+            "entries": 0,
+            "slot_hits": 0,
+            "slot_misses": 0,
+            "bytes": 0,
+        }
+        sources: list[dict] = []
+        if self._local_cache is not None:
+            sources.append(self._local_cache.stats())
+        with self._lock:
+            workers = list(self._worker_stats.values())
+        sources.extend(workers)
+        for source in sources:
+            for counter in (
+                "hits", "misses", "entries",
+                "slot_hits", "slot_misses", "bytes",
+            ):
+                stats[counter] += source.get(counter, 0)
+        stats["workers"] = len(workers)
+        if self._publisher is not None:
+            stats["shared"] = self._publisher.stats()
+        return stats
+
     def launch(self, request: RunRequest, fingerprint: str) -> RunFuture:
         """Execute a miss, bypassing the store lookup.
 
@@ -510,7 +708,16 @@ class Orchestrator:
         launches with their own registry).
         """
         if self.jobs == 1:
-            result, elapsed = _timed_execute(request)
+            if self.workload_cache > 0:
+                result, elapsed, _stats = _timed_execute_task(
+                    _WorkerTask(
+                        request=request,
+                        key=_materialization_key_of(request),
+                    ),
+                    cache=self._ensure_local_cache(),
+                )
+            else:
+                result, elapsed = _timed_execute(request)
             self.store.put(
                 fingerprint, result, request.descriptor(),
                 self._meta_for(request),
@@ -529,7 +736,14 @@ class Orchestrator:
             base = self._inflight.get(fingerprint)
             created = base is None
             if created:
-                base = self._ensure_pool().submit(_timed_execute, request)
+                pool = self._ensure_pool()
+                if isinstance(pool, StickyPool):
+                    task = self._worker_task(request)
+                    base = pool.submit(
+                        _timed_execute_task, task, key=task.key
+                    )
+                else:
+                    base = pool.submit(_timed_execute, request)
                 self._inflight[fingerprint] = base
         # Callbacks are registered *outside* the lock: a future that is
         # already done runs its callback inline in this thread, and
@@ -550,7 +764,7 @@ class Orchestrator:
             if error is not None:
                 wrapper.set_exception(error)
                 return
-            result, elapsed = done.result()
+            result, elapsed, _stats = _unpack_payload(done.result())
             wrapper.set_result(
                 RunArtifact(
                     fingerprint=fingerprint,
@@ -563,6 +777,22 @@ class Orchestrator:
         base.add_done_callback(_chain)
         return RunFuture(request, fingerprint, wrapper)
 
+    def _worker_task(self, request: RunRequest) -> _WorkerTask:
+        """The sticky-pool envelope for ``request``.
+
+        Publishes large recorded packs to shared memory (once per pack
+        content) so the task ships a few-hundred-byte stub instead of
+        the utilization matrix; anything unpublishable falls back to
+        the ordinary full-request pickle.
+        """
+        key = _materialization_key_of(request)
+        stub = None
+        if self._publisher is not None:
+            stub = self._publisher.publish_pack(request.pack)
+        if stub is not None:
+            request = dataclasses.replace(request, pack=None)
+        return _WorkerTask(request=request, key=key, stub=stub)
+
     def _record(self, fingerprint: str, request: RunRequest, base: Future) -> None:
         """Completion callback: stream the result into the store.
 
@@ -574,11 +804,16 @@ class Orchestrator:
         re-simulates.
         """
         if base.exception() is None:
-            result, _ = base.result()
+            result, _elapsed, stats = _unpack_payload(base.result())
             self.store.put(
                 fingerprint, result, request.descriptor(),
                 self._meta_for(request),
             )
+            if stats is not None:
+                # Latest absolute snapshot per worker pid; summed in
+                # workload_cache_stats().
+                with self._lock:
+                    self._worker_stats[stats["pid"]] = stats
         with self._lock:
             self._inflight.pop(fingerprint, None)
 
@@ -590,19 +825,30 @@ class Orchestrator:
     ) -> list[RunFuture]:
         """Submit a batch; duplicates share one future (simulated once).
 
+        With the workload cache enabled, submissions are issued in
+        materialization-key order (stable, so same-key requests keep
+        their relative order): each sticky worker then drains its
+        queue one workload at a time instead of thrashing between
+        materializations.  The *returned* futures always align with
+        ``requests``.
+
         ``detail`` is accepted for service-client parity and ignored
         in-process (see :meth:`submit`).
         """
-        futures: list[RunFuture] = []
+        order = list(range(len(requests)))
+        if self.workload_cache > 0 and self.jobs > 1:
+            order.sort(key=lambda i: _materialization_key_of(requests[i]))
+        future_at: dict[int, RunFuture] = {}
         by_fingerprint: dict[str, RunFuture] = {}
-        for request in requests:
+        for index in order:
+            request = requests[index]
             fingerprint = request.fingerprint()
             future = by_fingerprint.get(fingerprint)
             if future is None:
                 future = self.submit(request, use_store=use_store)
                 by_fingerprint[fingerprint] = future
-            futures.append(future)
-        return futures
+            future_at[index] = future
+        return [future_at[index] for index in range(len(requests))]
 
     def _notify(self, done: int, total: int) -> None:
         if self.progress is not None:

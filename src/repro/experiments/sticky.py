@@ -1,0 +1,103 @@
+"""Key-affinity process pool for workload-cached experiment fan-out.
+
+A plain ``ProcessPoolExecutor`` hands tasks to whichever worker frees
+up first, so a sweep over one workload scatters across every worker
+and each of them pays the full materialization cost
+(:mod:`repro.workload.materialize`).  :class:`StickyPool` keeps one
+single-worker executor per slot and routes each submission by its
+**materialization key**:
+
+* the primary criterion is load -- the least-pending worker wins, so
+  sticky routing can never serialize a batch that a plain pool would
+  have run in parallel (a stalled run on one worker leaves every
+  other submission free to land elsewhere);
+* among equally-loaded workers, one whose *last* task shared the
+  submission's key wins -- its per-process cache already holds the
+  materialization warm.
+
+Combined with the orchestrator's key-grouped ``submit_many`` ordering
+this converges to each worker paying at most one cold materialization
+per distinct workload in a sweep.
+
+The pool mirrors the executor surface the orchestrator relies on
+(``submit``/``shutdown``), so it drops into ``Orchestrator._pool``
+transparently.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Callable
+
+__all__ = ["StickyPool"]
+
+
+class StickyPool:
+    """N single-worker executors with materialization-key affinity.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes (one executor each).
+    initializer / initargs:
+        Forwarded to every worker process at spawn -- the orchestrator
+        installs the per-process materialization cache here.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._executors = [
+            ProcessPoolExecutor(
+                max_workers=1, initializer=initializer, initargs=initargs
+            )
+            for _ in range(workers)
+        ]
+        self._pending = [0] * workers
+        self._last_key: list[str | None] = [None] * workers
+        self._lock = threading.Lock()
+
+    @property
+    def workers(self) -> int:
+        return len(self._executors)
+
+    def _route(self, key: str | None) -> int:
+        """Index of the best worker: least pending, warm breaks ties."""
+        return min(
+            range(len(self._executors)),
+            key=lambda index: (
+                self._pending[index],
+                0 if key is not None and self._last_key[index] == key else 1,
+                index,
+            ),
+        )
+
+    def submit(self, fn, /, *args, key: str | None = None, **kwargs) -> Future:
+        """Submit ``fn(*args, **kwargs)`` to the worker chosen for ``key``."""
+        with self._lock:
+            index = self._route(key)
+            self._pending[index] += 1
+            self._last_key[index] = key
+            future = self._executors[index].submit(fn, *args, **kwargs)
+        future.add_done_callback(lambda _done, i=index: self._finished(i))
+        return future
+
+    def _finished(self, index: int) -> None:
+        with self._lock:
+            self._pending[index] -= 1
+
+    def pending(self) -> int:
+        """Total submissions not yet finished (routing load signal)."""
+        with self._lock:
+            return sum(self._pending)
+
+    def shutdown(self, wait: bool = True, **kwargs) -> None:
+        """Shut every worker executor down (executor-compatible)."""
+        for executor in self._executors:
+            executor.shutdown(wait=wait, **kwargs)

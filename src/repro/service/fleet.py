@@ -710,6 +710,7 @@ class FleetClient:
                     "jobs": member.health.get("jobs"),
                     "inflight": member.health.get("inflight"),
                     "queue_depth": member.health.get("queue_depth"),
+                    "workload_cache": member.health.get("workload_cache"),
                 }
             )
         alive = sum(1 for member in members if member["alive"])

@@ -315,6 +315,7 @@ def encode_health(
     jobs: int,
     inflight: int,
     queue_depth: int,
+    workload_cache: dict | None = None,
 ) -> dict:
     """The ``GET /healthz`` payload: liveness plus load.
 
@@ -323,9 +324,12 @@ def encode_health(
     saturated members without a second ``/stats`` round trip:
     ``jobs`` (executor width), ``inflight`` (runs executing or queued
     daemon-side) and ``queue_depth`` (``max(0, inflight - jobs)`` --
-    work that cannot start until a slot frees).
+    work that cannot start until a slot frees).  ``workload_cache``
+    (optional -- old daemons simply omit it) summarizes the member's
+    workload materialization cache so ``repro fleet status`` can show
+    cache efficacy per member without a ``/stats`` round trip.
     """
-    return {
+    payload = {
         "wire_version": WIRE_VERSION,
         "supported_wire_versions": list(SUPPORTED_WIRE_VERSIONS),
         "kind": "health",
@@ -335,6 +339,9 @@ def encode_health(
         "inflight": int(inflight),
         "queue_depth": int(queue_depth),
     }
+    if workload_cache is not None:
+        payload["workload_cache"] = workload_cache
+    return payload
 
 
 def encode_error(

@@ -747,6 +747,7 @@ class ExperimentDaemon:
             self.orchestrator.jobs,
             inflight=inflight,
             queue_depth=queue_depth,
+            workload_cache=self.orchestrator.workload_cache_stats(),
         )
 
     def stats(self) -> dict:
@@ -769,6 +770,7 @@ class ExperimentDaemon:
             "queue_depth": queue_depth,
             "store": self.orchestrator.store.stats(),
             "wire": wire,
+            "workload_cache": self.orchestrator.workload_cache_stats(),
             **counters,
         }
 

@@ -50,6 +50,7 @@ from repro.sim.results import DCSlotRecord, RunResult, SlotRecord
 from repro.sim.state import FleetPlacement, PlacementPolicy, SlotObservation
 from repro.units import SECONDS_PER_HOUR
 from repro.workload.arrivals import VMPopulation
+from repro.workload.materialize import materialization_key
 from repro.workload.packs import LibraryWorkload, WorkloadProvider, default_pack
 from repro.workload.vm import VirtualMachine
 
@@ -90,6 +91,18 @@ class SimulationEngine:
         Use the numpy segment-sum hot paths (default).  ``False``
         selects the reference per-server/per-DC loops; both produce
         bit-identical results.
+    materialization:
+        Optional pre-built
+        :class:`~repro.workload.materialize.WorkloadMaterialization`
+        supplying the population, traces and volumes (plus a shared
+        per-slot array cache) instead of building them here.  Its
+        :func:`~repro.workload.materialize.materialization_key` must
+        match this ``config``/``vectorized`` pair -- configs differing
+        only in workload-irrelevant fields (fleet specs, tariffs, QoS)
+        share materializations; it already carries its pack, so
+        ``workload`` / ``trace_library`` must not also be passed.
+        Purely an execution detail: runs are bit-identical with or
+        without it.
     """
 
     def __init__(
@@ -101,30 +114,67 @@ class SimulationEngine:
         clairvoyant: bool = False,
         vectorized: bool = True,
         workload: WorkloadProvider | None = None,
+        materialization=None,
     ) -> None:
         if workload is not None and trace_library is not None:
             raise ValueError(
                 "pass either workload or trace_library, not both"
             )
-        if workload is None:
-            workload = (
-                LibraryWorkload(trace_library)
-                if trace_library is not None
-                else default_pack()
-            )
-        config = workload.configure(config)
+        if materialization is not None:
+            if workload is not None or trace_library is not None:
+                raise ValueError(
+                    "materialization already carries its workload"
+                )
+            if materialization.vectorized != vectorized:
+                raise ValueError(
+                    "materialization was built with vectorized="
+                    f"{materialization.vectorized}"
+                )
+            # The sharing contract is the key, not config equality:
+            # configs differing only in workload-irrelevant fields
+            # (fleet specs, tariffs, QoS -- a battery sweep) share one
+            # materialization.  The engine keeps ITS config for the
+            # physics and only adopts the pack's configure overrides.
+            if (
+                materialization_key(
+                    config, materialization.pack, vectorized
+                )
+                != materialization.key
+            ):
+                raise ValueError(
+                    "materialization was built for a different workload "
+                    "(materialization key mismatch)"
+                )
+            workload = materialization.pack
+            config = workload.configure(config)
+        else:
+            if workload is None:
+                workload = (
+                    LibraryWorkload(trace_library)
+                    if trace_library is not None
+                    else default_pack()
+                )
+            config = workload.configure(config)
         self.config = config
         self.policy = policy
         self.validate = validate
         self.clairvoyant = clairvoyant
         self.vectorized = vectorized
         self.workload = workload
+        self._materialization = materialization
 
-        self.population = VMPopulation.generate(
-            config.arrival_model, config.horizon_slots, seed=config.seed
-        )
-        self.traces = workload.build_traces(config)
-        self.volumes = workload.build_volumes(config, vectorized=vectorized)
+        if materialization is not None:
+            self.population = materialization.population
+            self.traces = materialization.traces
+            self.volumes = materialization.volumes
+        else:
+            self.population = VMPopulation.generate(
+                config.arrival_model, config.horizon_slots, seed=config.seed
+            )
+            self.traces = workload.build_traces(config)
+            self.volumes = workload.build_volumes(
+                config, vectorized=vectorized
+            )
         self.latency_model = build_latency_model(config)
         self.green = GreenController(
             step_s=SECONDS_PER_HOUR / config.steps_per_slot
@@ -169,7 +219,46 @@ class SimulationEngine:
     def _demand(self, vms: list[VirtualMachine], slot: int) -> np.ndarray:
         if not vms:
             return np.zeros((0, self.config.steps_per_slot))
-        return np.stack([self._demand_row(vm, slot) for vm in vms])
+        if self._materialization is not None:
+            matrix = self._materialization.demand(vms, slot)
+            if matrix is not None:
+                return matrix
+        many = getattr(self.traces, "slot_demand_many", None)
+        if not self.vectorized or many is None:
+            return np.stack([self._demand_row(vm, slot) for vm in vms])
+        cached = [self._demand_cache.get((vm.vm_id, slot)) for vm in vms]
+        missing = [index for index, row in enumerate(cached) if row is None]
+        if not missing:
+            return np.stack(cached)
+        if len(missing) == len(vms):
+            matrix = many(vms, slot)
+        else:
+            matrix = np.empty((len(vms), self.config.steps_per_slot))
+            for index, row in enumerate(cached):
+                if row is not None:
+                    matrix[index] = row
+            fresh = many([vms[index] for index in missing], slot)
+            for position, index in enumerate(missing):
+                matrix[index] = fresh[position]
+        # Freeze so cached row views cannot be corrupted downstream --
+        # nothing in the engine or the policies writes to demand
+        # matrices, and the materialization path serves frozen arrays
+        # already.
+        matrix.flags.writeable = False
+        for index in missing:
+            key = (vms[index].vm_id, slot)
+            self._demand_cache[key] = matrix[index]
+            self._demand_cache_slots.setdefault(slot, []).append(key)
+        return matrix
+
+    def _slot_volumes(self, vms: list[VirtualMachine], slot: int):
+        """The slot's volume matrix, via the shared materialization
+        cache when one is installed (with per-run fallback)."""
+        if self._materialization is not None:
+            matrix = self._materialization.volume_matrix(vms, slot)
+            if matrix is not None:
+                return matrix
+        return self.volumes.volumes(vms, slot)
 
     def _evict_cache(self, older_than_slot: int) -> None:
         for slot in [s for s in self._demand_cache_slots if s < older_than_slot]:
@@ -413,13 +502,20 @@ class SimulationEngine:
     ) -> list[tuple[float, int]]:
         """Grouped-matrix implementation of :meth:`_response_latencies`.
 
-        One stable argsort groups VMs by DC, a single gather builds the
-        DC-blocked volume matrix, and the ``n_dcs x n_dcs`` pair-volume
-        matrix falls out as contiguous block sums.  A stable sort keeps
-        VMs in index order within each block and each block copy is
-        C-contiguous, so every block sum reduces the same elements in
-        the same (pairwise) order as the reference's
-        ``volumes[np.ix_(senders, members)].sum()`` -- bit-identical.
+        One stable argsort yields each DC's member indices (ascending,
+        matching the reference's ``np.nonzero``), replacing the
+        reference's 2 x n_dcs ``np.nonzero`` scans; each pair volume is
+        then the reference's own ``volumes[np.ix_(src, dst)].sum()`` --
+        bit-identical by construction, with one fused gather+sum per
+        pair instead of the previous whole-matrix blocked gather plus
+        a redundant per-block ``ascontiguousarray`` copy (3x the
+        memory traffic).
+
+        Deliberately *not* ``np.add.reduceat``: reduceat accumulates
+        strictly left-to-right while ndarray ``.sum()`` reduces
+        pairwise, so their float64 results differ in the last ulps for
+        any realistic block -- it cannot satisfy the bit-identity
+        contract (see test_reduceat_is_not_bit_identical).
         """
         n_dcs = self.config.n_dcs
         dc_of = np.array([placement.assignment[vm.vm_id] for vm in vms], dtype=int)
@@ -435,16 +531,20 @@ class SimulationEngine:
                 dc_of[received > 0.0], minlength=n_dcs
             )
             order = np.argsort(dc_of, kind="stable")
-            blocked = np.ascontiguousarray(volumes_now[np.ix_(order, order)])
             bounds = np.concatenate(([0], np.cumsum(member_counts)))
+            groups = [
+                order[bounds[dc] : bounds[dc + 1]] for dc in range(n_dcs)
+            ]
             pair_volumes = np.zeros((n_dcs, n_dcs))
             for src in range(n_dcs):
+                if member_counts[src] == 0:
+                    continue
                 for dst in range(n_dcs):
-                    block = blocked[
-                        bounds[src] : bounds[src + 1],
-                        bounds[dst] : bounds[dst + 1],
-                    ]
-                    pair_volumes[src, dst] = np.ascontiguousarray(block).sum()
+                    if member_counts[dst] == 0:
+                        continue
+                    pair_volumes[src, dst] = volumes_now[
+                        np.ix_(groups[src], groups[dst])
+                    ].sum()
 
         results: list[tuple[float, int]] = []
         for dst in range(n_dcs):
@@ -477,7 +577,7 @@ class SimulationEngine:
             vm_rows = {vm.vm_id: row for row, vm in enumerate(vms)}
             observed_slot = slot if self.clairvoyant else max(slot - 1, 0)
             demand_prev = self._demand(vms, observed_slot)
-            volumes_prev = self.volumes.volumes(vms, observed_slot)
+            volumes_prev = self._slot_volumes(vms, observed_slot)
 
             observation = SlotObservation(
                 slot=slot,
@@ -498,7 +598,7 @@ class SimulationEngine:
                 placement.validate(observation)
 
             demand_now = self._demand(vms, slot)
-            volumes_now = self.volumes.volumes(vms, slot)
+            volumes_now = self._slot_volumes(vms, slot)
             latencies = self._response_latencies(
                 placement, vms, volumes_now.volumes, slot
             )

@@ -171,8 +171,14 @@ class RecordedTraceSource:
         # Private, read-only copy: the sha256 is computed lazily, so an
         # aliased caller array mutated after construction would
         # desynchronize the content hash from the served bytes.
-        matrix = np.array(self.utilization, dtype=float)
-        matrix.flags.writeable = False
+        # Already-read-only float arrays are adopted without copying --
+        # the shared-memory fan-out path (repro.workload.shm) relies on
+        # this to keep worker-side restores zero-copy.
+        matrix = np.asarray(self.utilization, dtype=float)
+        if matrix.flags.writeable:
+            if matrix is self.utilization:
+                matrix = matrix.copy()
+            matrix.flags.writeable = False
         # Validate eagerly so a bad matrix fails at pack construction,
         # not inside a worker process mid-batch.
         RecordedTraceLibrary(matrix, self.steps_per_slot)

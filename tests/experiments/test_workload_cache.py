@@ -1,0 +1,242 @@
+"""Workload cache in the orchestrator: identity, sharing, plumbing."""
+
+import dataclasses
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.experiments.orchestrator import (
+    Orchestrator,
+    ResultStore,
+    RunRequest,
+    grid_requests,
+)
+from repro.experiments.runner import default_policies
+from repro.experiments.sticky import StickyPool
+from repro.sim.config import scaled_config
+from repro.workload.packs import RecordedTraceSource, TracePack, get_pack
+
+
+def tiny(horizon: int = 3, seed: int = 0):
+    return scaled_config("tiny", seed=seed).with_horizon(horizon)
+
+
+def request(policy_index: int = 1, **kwargs):
+    return RunRequest(
+        config=kwargs.pop("config", tiny()),
+        policy=kwargs.pop("policy", None)
+        or default_policies()[policy_index],
+        **kwargs,
+    )
+
+
+def big_recorded_pack(n_vms: int = 200):
+    """A recorded pack whose matrix crosses the shared-memory floor."""
+    rng = np.random.default_rng(17)
+    matrix = rng.uniform(0.05, 0.95, size=(n_vms, 24 * 30))
+    assert matrix.nbytes >= 1 << 20
+    return TracePack(
+        name="rec-big",
+        source=RecordedTraceSource(utilization=matrix, steps_per_slot=30),
+    )
+
+
+def slots_of(artifacts):
+    return [artifact.result.slots for artifact in artifacts]
+
+
+class TestByteIdentity:
+    """Cached, shared-memory and from-scratch paths emit equal runs."""
+
+    def grid(self):
+        return grid_requests([tiny()], lambda _: default_policies())
+
+    def test_pooled_cached_equals_cache_off_equals_serial(self):
+        with Orchestrator(jobs=2, workload_cache=4) as cached:
+            warm = cached.run_many(self.grid())
+            stats = cached.workload_cache_stats()
+        with Orchestrator(jobs=2, workload_cache=0) as plain:
+            cold = plain.run_many(self.grid())
+        serial = Orchestrator(jobs=1, workload_cache=4).run_many(self.grid())
+        assert slots_of(warm) == slots_of(cold) == slots_of(serial)
+        assert [a.fingerprint for a in warm] == [
+            a.fingerprint for a in cold
+        ] == [a.fingerprint for a in serial]
+        assert stats["enabled"] and stats["workers"] >= 1
+        assert stats["misses"] >= 1
+
+    def test_scenario_pack_identity_serial_cached(self):
+        pack = get_pack("scenario-hpc")
+        requests = [
+            request(config=tiny(), policy=policy, pack=pack)
+            for policy in default_policies()[:3]
+        ]
+        cached = Orchestrator(jobs=1, workload_cache=4)
+        warm = cached.run_many(requests)
+        cold = Orchestrator(jobs=1, workload_cache=0).run_many(
+            [
+                request(config=tiny(), policy=policy, pack=pack)
+                for policy in default_policies()[:3]
+            ]
+        )
+        assert slots_of(warm) == slots_of(cold)
+        stats = cached.workload_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+
+    def test_shared_memory_pack_identity_and_engagement(self):
+        pack = big_recorded_pack()
+        requests = [
+            request(config=tiny(2), policy=policy, pack=pack)
+            for policy in default_policies()[1:3]
+        ]
+        with Orchestrator(jobs=2, workload_cache=4) as cached:
+            warm = cached.run_many(requests)
+            shared = cached.workload_cache_stats()["shared"]
+        with Orchestrator(jobs=2, workload_cache=0) as plain:
+            cold = plain.run_many(
+                [
+                    request(config=tiny(2), policy=policy, pack=pack)
+                    for policy in default_policies()[1:3]
+                ]
+            )
+        assert slots_of(warm) == slots_of(cold)
+        assert shared["segments"] == 1
+        assert shared["bytes"] == pack.source.utilization.nbytes
+
+
+class TestSharing:
+    def test_serial_runs_share_one_materialization(self):
+        orchestrator = Orchestrator(jobs=1, use_store=False)
+        for policy in default_policies():
+            orchestrator.run(request(policy=policy))
+        stats = orchestrator.workload_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == len(default_policies()) - 1
+        assert stats["entries"] == 1
+        assert stats["slot_hits"] > 0
+
+    def test_concurrent_submissions_share_one_materialization(self):
+        orchestrator = Orchestrator(jobs=1, use_store=False)
+        orchestrator.run(request())  # warm the key
+        with ThreadPoolExecutor(4) as pool:
+            artifacts = list(
+                pool.map(
+                    lambda policy: orchestrator.run(request(policy=policy)),
+                    default_policies(),
+                )
+            )
+        stats = orchestrator.workload_cache_stats()
+        assert stats["misses"] == 1  # every thread hit the warm entry
+        serial = [
+            Orchestrator(workload_cache=0).run(request(policy=policy))
+            for policy in default_policies()
+        ]
+        assert slots_of(artifacts) == slots_of(serial)
+
+    def test_lru_eviction_with_cap_one(self):
+        orchestrator = Orchestrator(
+            jobs=1, use_store=False, workload_cache=1
+        )
+        alternating = [
+            request(config=tiny(2, seed=run % 2)) for run in range(4)
+        ]
+        for req in alternating:
+            orchestrator.run(req)
+        stats = orchestrator.workload_cache_stats()
+        assert stats["entries"] == 1  # cap held
+        assert stats["misses"] == 4  # every alternation rebuilt
+        assert stats["hits"] == 0
+
+    def test_seed_override_splits_keys(self):
+        orchestrator = Orchestrator(jobs=1, use_store=False)
+        orchestrator.run(request())
+        orchestrator.run(request(seed=5))
+        assert orchestrator.workload_cache_stats()["misses"] == 2
+
+
+class TestPlumbing:
+    def test_cache_off_uses_plain_pool(self):
+        with Orchestrator(jobs=2, workload_cache=0) as orchestrator:
+            assert isinstance(
+                orchestrator._ensure_pool(), ProcessPoolExecutor
+            )
+            assert orchestrator._publisher is None
+
+    def test_cache_on_uses_sticky_pool_and_publisher(self):
+        with Orchestrator(jobs=2, workload_cache=4) as orchestrator:
+            assert isinstance(orchestrator._ensure_pool(), StickyPool)
+            assert orchestrator._publisher is not None
+
+    def test_close_releases_pool_and_publisher(self):
+        orchestrator = Orchestrator(jobs=2, workload_cache=4)
+        orchestrator._ensure_pool()
+        orchestrator.close()
+        assert orchestrator._pool is None
+        assert orchestrator._publisher is None
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE", "0")
+        assert Orchestrator().workload_cache == 0
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE", "7")
+        assert Orchestrator().workload_cache == 7
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE", "nonsense")
+        assert (
+            Orchestrator().workload_cache
+            == Orchestrator(workload_cache=None).workload_cache
+            == 4
+        )
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE", "9")
+        assert Orchestrator(workload_cache=2).workload_cache == 2
+
+    def test_budget_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE_MB", "16")
+        assert Orchestrator().slot_budget_bytes == 16 << 20
+
+    def test_with_jobs_carries_cache_setting(self):
+        orchestrator = Orchestrator(jobs=1, workload_cache=2)
+        assert orchestrator.with_jobs(3).workload_cache == 2
+
+    def test_stats_shape_when_disabled(self):
+        stats = Orchestrator(workload_cache=0).workload_cache_stats()
+        assert stats["enabled"] is False
+        assert stats["hits"] == stats["misses"] == 0
+        assert "shared" not in stats
+
+    def test_cache_never_joins_fingerprint(self):
+        assert (
+            request().fingerprint()
+            == RunRequest(
+                config=tiny(), policy=default_policies()[1]
+            ).fingerprint()
+        )
+        orchestrators = [
+            Orchestrator(workload_cache=0),
+            Orchestrator(workload_cache=8),
+        ]
+        fingerprints = {
+            orchestrator.run(request(), use_store=False).fingerprint
+            for orchestrator in orchestrators
+        }
+        assert len(fingerprints) == 1
+
+
+class TestSubmitMany:
+    def test_futures_return_in_request_order(self):
+        requests = [
+            request(config=tiny(2, seed=seed), policy=policy)
+            for seed in (0, 1)
+            for policy in default_policies()[:2]
+        ]
+        with Orchestrator(jobs=2, use_store=False) as orchestrator:
+            futures = orchestrator.submit_many(requests)
+            assert [f.request for f in futures] == requests
+            artifacts = [future.result(timeout=300) for future in futures]
+        serial = [
+            Orchestrator(workload_cache=0).run(req, use_store=False)
+            for req in requests
+        ]
+        assert slots_of(artifacts) == slots_of(serial)

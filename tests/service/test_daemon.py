@@ -50,6 +50,10 @@ class TestHealthAndStats:
     def test_healthz(self, daemon):
         status, payload = get(daemon.url, "/healthz")
         assert status == 200
+        workload_cache = payload.pop("workload_cache")
+        assert workload_cache["enabled"] == (
+            daemon.orchestrator.workload_cache > 0
+        )
         assert payload == {
             "wire_version": WIRE_VERSION,
             "supported_wire_versions": list(SUPPORTED_WIRE_VERSIONS),

@@ -224,3 +224,83 @@ class TestFleetGreenPathsInRun:
         fleet_engine.green.scalar_replay_max_dcs = 0
         batched = fleet_engine.run()
         assert loops.slots == batched.slots
+
+
+class TestPairVolumes:
+    """The grouped pair-volume gather (satellite of the workload-cache
+    PR) must stay bit-identical to the reference block sums -- and the
+    tempting reduceat alternative provably cannot."""
+
+    def _blocked_case(self, n_vms, n_dcs, seed=11):
+        rng = np.random.default_rng(seed)
+        volumes = rng.uniform(0.0, 40.0, (n_vms, n_vms))
+        np.fill_diagonal(volumes, 0.0)
+        dc_of = rng.integers(0, n_dcs, n_vms)
+        return volumes, dc_of
+
+    def _reference_pairs(self, volumes, dc_of, n_dcs):
+        pair = np.zeros((n_dcs, n_dcs))
+        for src in range(n_dcs):
+            senders = np.nonzero(dc_of == src)[0]
+            for dst in range(n_dcs):
+                members = np.nonzero(dc_of == dst)[0]
+                if senders.size and members.size:
+                    pair[src, dst] = volumes[np.ix_(senders, members)].sum()
+        return pair
+
+    @pytest.mark.parametrize("slot", [0, 1])
+    def test_grouped_path_bit_identical_to_loop(self, slot):
+        """Engine path vs per-pair nonzero reference, elementwise exact."""
+        config = scaled_config("tiny").with_horizon(2)
+        engine = SimulationEngine(config, default_policies()[1])
+        vms = engine.population.alive(slot)
+        # Drive the real entry points with a stub placement over the
+        # engine's own population (identity must hold end to end).
+        rng = np.random.default_rng(3)
+        stub = type(
+            "Stub",
+            (),
+            {
+                "assignment": {
+                    vm.vm_id: int(rng.integers(0, engine.config.n_dcs))
+                    for vm in vms
+                }
+            },
+        )()
+        real = engine.volumes.volumes(vms, slot).volumes
+        loop = engine._response_latencies_loop(stub, vms, real, slot)
+        fast = engine._response_latencies_vectorized(stub, vms, real, slot)
+        assert loop == fast
+
+    def test_grouped_blocks_match_reference_at_large_sizes(self):
+        """Blocks beyond numpy's buffered-iteration threshold (8192
+        elements) are exactly where strided shortcuts break; the
+        np.ix_ gather must stay exact there."""
+        volumes, dc_of = self._blocked_case(300, 2)
+        reference = self._reference_pairs(volumes, dc_of, 2)
+        order = np.argsort(dc_of, kind="stable")
+        counts = np.bincount(dc_of, minlength=2)
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        groups = [order[bounds[dc]: bounds[dc + 1]] for dc in range(2)]
+        for src in range(2):
+            for dst in range(2):
+                block_sum = volumes[np.ix_(groups[src], groups[dst])].sum()
+                assert block_sum == reference[src, dst]
+
+    def test_reduceat_is_not_bit_identical(self):
+        """Documents why the engine does NOT use np.add.reduceat: its
+        strict left-to-right accumulation diverges (in the last ulps)
+        from ndarray.sum()'s pairwise reduction on realistic blocks,
+        so a reduceat implementation would break the engine's
+        bit-identity contract between vectorized and loop paths."""
+        volumes, dc_of = self._blocked_case(300, 2, seed=5)
+        reference = self._reference_pairs(volumes, dc_of, 2)
+        order = np.argsort(dc_of, kind="stable")
+        counts = np.bincount(dc_of, minlength=2)
+        bounds = np.concatenate(([0], np.cumsum(counts)))[:-1]
+        blocked = volumes[np.ix_(order, order)]
+        # The classic two-pass reduceat: columns, then rows.
+        by_cols = np.add.reduceat(blocked, bounds, axis=1)
+        pair = np.add.reduceat(by_cols, bounds, axis=0)
+        assert pair == pytest.approx(reference)  # close...
+        assert not np.array_equal(pair, reference)  # ...but not equal

@@ -1,0 +1,183 @@
+"""Shared-memory pack fan-out: publish/restore identity and lifecycle."""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.sim.config import scaled_config
+from repro.workload.packs import (
+    RecordedTraceSource,
+    TracePack,
+    default_pack,
+)
+from repro.workload.shm import (
+    MIN_SHARED_BYTES,
+    SharedPackStub,
+    SharedWorkloadPublisher,
+    _attach_segment,
+)
+
+
+def recorded_pack(seed=11, n_vms=8, days=1, name="rec-shm"):
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(0.05, 0.95, size=(n_vms, days * 24 * 30))
+    return TracePack(
+        name=name,
+        source=RecordedTraceSource(utilization=matrix, steps_per_slot=30),
+    )
+
+
+@pytest.fixture
+def publisher():
+    publisher = SharedWorkloadPublisher(min_bytes=0)
+    yield publisher
+    publisher.close()
+
+
+class TestPublish:
+    def test_roundtrip_is_byte_identical(self, publisher):
+        pack = recorded_pack()
+        stub = publisher.publish_pack(pack)
+        assert stub is not None
+        restored = stub.restore()
+        assert restored.sha256 == pack.sha256
+        assert restored.content_descriptor() == pack.content_descriptor()
+        assert np.array_equal(
+            restored.source.utilization, pack.source.utilization
+        )
+
+    def test_restored_matrix_is_read_only_zero_copy(self, publisher):
+        pack = recorded_pack()
+        restored = publisher.publish_pack(pack).restore()
+        matrix = restored.source.utilization
+        assert not matrix.flags.writeable
+        assert not matrix.flags.owndata  # a view over the segment
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 1.0
+
+    def test_restored_library_output_identical(self, publisher):
+        config = scaled_config("tiny").with_horizon(2)
+        pack = recorded_pack()
+        restored = publisher.publish_pack(pack).restore()
+        original_traces = pack.build_traces(config)
+        restored_traces = restored.build_traces(config)
+        from repro.workload.vm import AppType, VirtualMachine
+
+        vm = VirtualMachine(
+            vm_id=3, app_type=AppType.WEB, cores=2, image_gb=4,
+            arrival_slot=0, departure_slot=4, service_id=0,
+        )
+        assert np.array_equal(
+            original_traces.slot_demand(vm, 1),
+            restored_traces.slot_demand(vm, 1),
+        )
+
+    def test_stub_is_tiny_on_the_wire(self, publisher):
+        import pickle
+
+        pack = recorded_pack()
+        stub = publisher.publish_pack(pack)
+        assert len(pickle.dumps(stub)) < 2048
+        assert len(pickle.dumps(stub)) < len(pickle.dumps(pack)) / 50
+
+    def test_idempotent_per_content(self, publisher):
+        pack = recorded_pack()
+        first = publisher.publish_pack(pack)
+        second = publisher.publish_pack(pack)
+        assert first is second
+        assert publisher.stats()["segments"] == 1
+
+    def test_stats_report_bytes(self, publisher):
+        pack = recorded_pack()
+        publisher.publish_pack(pack)
+        assert (
+            publisher.stats()["bytes"] == pack.source.utilization.nbytes
+        )
+
+
+class TestDeclines:
+    def test_synthetic_pack_declined(self, publisher):
+        assert publisher.publish_pack(default_pack()) is None
+
+    def test_non_pack_declined(self, publisher):
+        assert publisher.publish_pack(object()) is None
+
+    def test_small_matrix_declined_by_default_threshold(self):
+        publisher = SharedWorkloadPublisher()  # default MIN_SHARED_BYTES
+        try:
+            pack = recorded_pack()
+            assert pack.source.utilization.nbytes < MIN_SHARED_BYTES
+            assert publisher.publish_pack(pack) is None
+        finally:
+            publisher.close()
+
+    def test_closed_publisher_declines(self, publisher):
+        publisher.close()
+        assert publisher.publish_pack(recorded_pack()) is None
+
+
+class TestLifecycle:
+    def test_close_unlinks_segments(self):
+        publisher = SharedWorkloadPublisher(min_bytes=0)
+        stub = publisher.publish_pack(recorded_pack(seed=23, name="gone"))
+        publisher.close()
+        with pytest.raises(FileNotFoundError):
+            _attach_segment(stub.ref.name)
+        assert publisher.stats()["segments"] == 0
+
+    def test_close_is_idempotent(self, publisher):
+        publisher.publish_pack(recorded_pack())
+        publisher.close()
+        publisher.close()
+
+
+def _worker_probe(stub: SharedPackStub, queue) -> None:
+    restored = stub.restore()
+    queue.put(
+        (
+            restored.sha256,
+            restored.source.utilization.copy(),
+            bool(restored.source.utilization.flags.owndata),
+        )
+    )
+
+
+class TestWorkerProcessRestore:
+    def test_child_process_sees_identical_bytes(self, publisher):
+        pack = recorded_pack(seed=42)
+        stub = publisher.publish_pack(pack)
+        context = multiprocessing.get_context("spawn")
+        queue = context.Queue()
+        child = context.Process(target=_worker_probe, args=(stub, queue))
+        child.start()
+        sha, matrix, owndata = queue.get(timeout=60)
+        child.join(timeout=60)
+        assert child.exitcode == 0
+        assert sha == pack.sha256
+        assert not owndata  # the child adopted the segment, no copy
+        assert np.array_equal(matrix, pack.source.utilization)
+        # The parent's segment survived the child's exit (the child
+        # must close, never unlink).
+        again = publisher.publish_pack(pack)
+        assert again is stub
+        assert np.array_equal(
+            stub.restore().source.utilization, pack.source.utilization
+        )
+
+
+class TestNoCopyAdoption:
+    def test_read_only_array_is_adopted_not_copied(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.uniform(0.1, 0.9, size=(4, 60))
+        matrix.flags.writeable = False
+        source = RecordedTraceSource(utilization=matrix, steps_per_slot=30)
+        assert source.utilization is matrix
+
+    def test_writeable_array_still_defensively_copied(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.uniform(0.1, 0.9, size=(4, 60))
+        source = RecordedTraceSource(utilization=matrix, steps_per_slot=30)
+        assert source.utilization is not matrix
+        matrix[0, 0] = 9.9
+        assert source.utilization[0, 0] != 9.9

@@ -13,7 +13,9 @@
 #                      -> BENCH_fleet.json; skips below 4 CPUs),
 #                      the engine's
 #                      per-slot hot paths, the fleet-batched
-#                      slot-physics kernel (bench_green) and the
+#                      slot-physics kernel (bench_green), the
+#                      discrete-event driver throughput + byte-identity
+#                      gate (bench_events -> BENCH_events.json) and the
 #                      data-correlation generation (loop vs vectorized)
 #   make bench       - full benchmark harness (slow: one-week comparison)
 
@@ -31,8 +33,8 @@ bench-smoke:
 		benchmarks/bench_scaling.py benchmarks/bench_datacorr.py \
 		benchmarks/bench_store.py benchmarks/bench_green.py \
 		benchmarks/bench_service.py benchmarks/bench_fleet.py \
-		benchmarks/bench_workload_cache.py \
-		-k "orchestrator or it_power or response_latencies or datacorr or store or green or service or fleet or workload" \
+		benchmarks/bench_workload_cache.py benchmarks/bench_events.py \
+		-k "orchestrator or it_power or response_latencies or datacorr or store or green or service or fleet or workload or event_core" \
 		--benchmark-min-rounds=3
 
 # Nightly follow-up to bench-smoke: compact the segment store the

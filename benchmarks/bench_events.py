@@ -1,0 +1,124 @@
+"""Event-driven engine core: throughput gate plus byte-identity.
+
+The discrete-event driver replays the same physics as the slot-stepped
+reference loop from a typed event heap (arrivals, departures, measure
+ticks, plus derived migration/tariff/battery/request trace events) and
+additionally materializes a per-request latency ledger the slot driver
+never builds.  Two properties keep it honest:
+
+* **byte-identity** -- the event driver's slot-boundary ledgers must
+  serialize byte for byte equal to the slot driver's over a multi-day
+  run (same config, same policy, same seed);
+* **throughput** -- draining the heap must sustain a floor of
+  simulated requests per wall-clock second over the whole run (ledger
+  rows are per-(slot, DC) aggregates, so the floor bounds event-core
+  overhead, not Python-per-request work).
+
+A machine-readable ``BENCH_events.json`` lands in
+``benchmarks/reports/`` (uploaded by the nightly workflow) so the
+event core's perf trajectory is recorded run over run.  Run via
+``make bench-smoke`` (or directly with pytest).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.baselines import EnerAwarePolicy
+from repro.sim.config import EngineCoreConfig, scaled_config
+from repro.sim.engine import SimulationEngine
+
+#: Simulated horizon: two days, so tariff edges, PV cycles and battery
+#: regime changes all generate trace events.
+HORIZON_SLOTS = 48
+
+#: Timed event-driver runs; the best repeat is scored.
+REPEATS = 2
+
+#: Required simulated requests drained per wall-clock second.
+REQUIRED_REQUESTS_PER_S = 50_000.0
+
+
+def _slot_bytes(result) -> bytes:
+    """Canonical serialized form of the slot-boundary ledgers."""
+    return json.dumps(
+        [record.to_dict() for record in result.slots], sort_keys=True
+    ).encode()
+
+
+@pytest.fixture(scope="module")
+def drivers():
+    """Slot- and event-driver runs of the same two-day experiment."""
+    config = scaled_config("small").with_horizon(HORIZON_SLOTS)
+    start = time.perf_counter()
+    slot_result = SimulationEngine(config, EnerAwarePolicy()).run()
+    slot_s = time.perf_counter() - start
+    event_s = float("inf")
+    event_result = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        candidate = SimulationEngine(
+            config, EnerAwarePolicy(), engine=EngineCoreConfig(kind="event")
+        ).run()
+        elapsed = time.perf_counter() - start
+        if elapsed < event_s:
+            event_s, event_result = elapsed, candidate
+    return config, slot_result, slot_s, event_result, event_s
+
+
+def test_event_core_slot_ledgers_byte_identical(drivers):
+    """Slot-boundary snapshots match the reference loop byte for byte."""
+    _, slot_result, _, event_result, _ = drivers
+    assert _slot_bytes(event_result) == _slot_bytes(slot_result)
+    # The event driver's extra product is the request ledger; the slot
+    # driver must keep degrading to None rather than faking one.
+    assert event_result.total_requests() > 0
+    assert slot_result.total_requests() is None
+
+
+def test_event_core_request_throughput(drivers, report_dir):
+    """The event heap sustains the simulated-requests/s floor."""
+    config, _, slot_s, event_result, event_s = drivers
+    total_requests = event_result.total_requests()
+    requests_per_s = total_requests / event_s
+    lines = [
+        "bench_events: discrete-event driver vs slot-stepped reference",
+        f"  small scale, {HORIZON_SLOTS} slots, "
+        f"{len(config.specs)} DCs, best of {REPEATS}",
+        f"  slot driver  {slot_s:6.2f} s/run",
+        f"  event driver {event_s:6.2f} s/run "
+        f"({total_requests} simulated requests)",
+        f"  throughput {requests_per_s:10.0f} requests/s "
+        f"(required >= {REQUIRED_REQUESTS_PER_S:.0f})",
+        f"  p50/p99/p99.9 request latency "
+        f"{event_result.p50_request_s():.3f}/"
+        f"{event_result.p99_request_s():.3f}/"
+        f"{event_result.p999_request_s():.3f} s",
+    ]
+    from conftest import write_report
+
+    write_report(report_dir, "bench_events.txt", lines)
+    payload = {
+        "benchmark": "bench_events",
+        "config": "small",
+        "horizon_slots": HORIZON_SLOTS,
+        "repeats": REPEATS,
+        "slot_driver_s": slot_s,
+        "event_driver_s": event_s,
+        "total_requests": total_requests,
+        "requests_per_s": requests_per_s,
+        "required_requests_per_s": REQUIRED_REQUESTS_PER_S,
+        "p50_request_s": event_result.p50_request_s(),
+        "p99_request_s": event_result.p99_request_s(),
+        "p999_request_s": event_result.p999_request_s(),
+    }
+    (report_dir / "BENCH_events.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    assert requests_per_s >= REQUIRED_REQUESTS_PER_S, (
+        f"event core drained only {requests_per_s:.0f} simulated "
+        f"requests/s (need >= {REQUIRED_REQUESTS_PER_S:.0f})"
+    )

@@ -232,6 +232,7 @@ def comparison_bounds(
     jobs: int = 1,
     orchestrator=None,
     pack=None,
+    options=None,
 ) -> list[tuple[RunResult, CostLowerBound]]:
     """Four-method comparison with the sourcing bound per policy.
 
@@ -252,7 +253,12 @@ def comparison_bounds(
     if jobs != 1:
         orchestrator = orchestrator.with_jobs(jobs)
     futures = orchestrator.submit_many(
-        grid_requests([config], lambda _: default_policies(alpha), pack=pack)
+        grid_requests(
+            [config],
+            lambda _: default_policies(alpha),
+            pack=pack,
+            options=options,
+        )
     )
     bounds: dict[object, tuple[RunResult, CostLowerBound]] = {}
     for future in orchestrator.as_done(futures):

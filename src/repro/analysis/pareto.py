@@ -13,7 +13,11 @@ from dataclasses import dataclass
 
 from repro.core.controller import ProposedPolicy
 from repro.core.forces import ForceParameters
-from repro.experiments.orchestrator import Orchestrator, RunRequest
+from repro.experiments.orchestrator import (
+    EngineOptions,
+    Orchestrator,
+    RunRequest,
+)
 from repro.sim.config import ExperimentConfig
 from repro.workload.packs import TracePack
 
@@ -51,6 +55,7 @@ def alpha_sweep(
     jobs: int = 1,
     orchestrator: Orchestrator | None = None,
     pack: TracePack | None = None,
+    options: EngineOptions | None = None,
 ) -> list[ParetoPoint]:
     """Run the proposed controller once per alpha over one workload.
 
@@ -75,6 +80,7 @@ def alpha_sweep(
                     force_params=ForceParameters(alpha=alpha)
                 ),
                 pack=pack,
+                options=options or EngineOptions(),
             )
             for alpha in alphas
         ],

@@ -14,7 +14,11 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.core.controller import ProposedPolicy
-from repro.experiments.orchestrator import Orchestrator, grid_requests
+from repro.experiments.orchestrator import (
+    EngineOptions,
+    Orchestrator,
+    grid_requests,
+)
 from repro.sim.config import ExperimentConfig
 from repro.sim.results import RunResult
 from repro.workload.packs import TracePack
@@ -52,6 +56,7 @@ def _run_grid(
     jobs: int,
     orchestrator: Orchestrator | None,
     pack: TracePack | None = None,
+    options: EngineOptions | None = None,
 ) -> list[SweepRow]:
     from repro.experiments.runner import default_orchestrator
 
@@ -67,7 +72,12 @@ def _run_grid(
     # Sweep rows read only headline aggregates, so a remote
     # orchestrator may ship the projected artifact form.
     artifacts = orchestrator.run_many(
-        grid_requests(configs, lambda _: [ProposedPolicy()], pack=pack),
+        grid_requests(
+            configs,
+            lambda _: [ProposedPolicy()],
+            pack=pack,
+            options=options,
+        ),
         detail="headline",
     )
     return [
@@ -82,6 +92,7 @@ def sweep_battery_scale(
     jobs: int = 1,
     orchestrator: Orchestrator | None = None,
     pack: TracePack | None = None,
+    options: EngineOptions | None = None,
 ) -> list[SweepRow]:
     """Rerun with every DC's battery scaled by each factor.
 
@@ -95,7 +106,9 @@ def sweep_battery_scale(
             for spec in config.specs
         )
         configs.append(dataclasses.replace(config, specs=specs))
-    return _run_grid(configs, "battery_scale", scales, jobs, orchestrator, pack)
+    return _run_grid(
+        configs, "battery_scale", scales, jobs, orchestrator, pack, options
+    )
 
 
 def sweep_qos(
@@ -104,12 +117,15 @@ def sweep_qos(
     jobs: int = 1,
     orchestrator: Orchestrator | None = None,
     pack: TracePack | None = None,
+    options: EngineOptions | None = None,
 ) -> list[SweepRow]:
     """Rerun with different migration QoS windows (Algorithm 2)."""
     configs = [
         dataclasses.replace(config, qos=qos) for qos in qos_levels
     ]
-    return _run_grid(configs, "qos", qos_levels, jobs, orchestrator, pack)
+    return _run_grid(
+        configs, "qos", qos_levels, jobs, orchestrator, pack, options
+    )
 
 
 def sweep_pv_scale(
@@ -118,6 +134,7 @@ def sweep_pv_scale(
     jobs: int = 1,
     orchestrator: Orchestrator | None = None,
     pack: TracePack | None = None,
+    options: EngineOptions | None = None,
 ) -> list[SweepRow]:
     """Rerun with every DC's PV array scaled by each factor."""
     configs = []
@@ -127,7 +144,9 @@ def sweep_pv_scale(
             for spec in config.specs
         )
         configs.append(dataclasses.replace(config, specs=specs))
-    return _run_grid(configs, "pv_scale", scales, jobs, orchestrator, pack)
+    return _run_grid(
+        configs, "pv_scale", scales, jobs, orchestrator, pack, options
+    )
 
 
 def format_rows(rows: list[SweepRow]) -> str:

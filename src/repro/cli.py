@@ -31,6 +31,12 @@ seeds with mean / 95 % CI reporting.  Sweeps stream ``completed/total``
 run counts to stderr as workers finish (``--progress`` forces it on,
 ``--no-progress`` off; the default follows whether stderr is a TTY).
 
+Engine selection: ``--engine {slot,event}`` picks the simulation
+driver -- the slot-stepped reference loop (default) or the
+discrete-event core, which produces byte-identical slot ledgers plus a
+per-request latency tail (p50/p99/p99.9).  The engine mode joins the
+run fingerprint, so the two drivers cache as distinct artifacts.
+
 Workload selection: ``--pack NAME`` runs a registered trace pack (see
 ``packs``) and ``--pack-csv PATH`` builds a recorded pack from a
 utilization CSV on the fly.  Pack identity is a content hash folded
@@ -71,7 +77,11 @@ from repro.experiments.figures import (
     table1_rows,
 )
 from repro.experiments.export import export_all
-from repro.experiments.orchestrator import Orchestrator, ResultStore
+from repro.experiments.orchestrator import (
+    EngineOptions,
+    Orchestrator,
+    ResultStore,
+)
 from repro.experiments.runner import (
     run_comparison,
     run_replicated_comparison,
@@ -86,7 +96,12 @@ from repro.service import (
     parse_fleet_spec,
 )
 from repro.service.client import ServiceRunError
-from repro.sim.config import ExperimentConfig, paper_config, scaled_config
+from repro.sim.config import (
+    EngineCoreConfig,
+    ExperimentConfig,
+    paper_config,
+    scaled_config,
+)
 from repro.sim.metrics import format_comparison, format_replicated_comparison
 from repro.store import (
     KNOWN_FORMATS,
@@ -223,14 +238,39 @@ def _pack_from(
     return None
 
 
+def _options_from(
+    args: argparse.Namespace, pack: TracePack | None
+) -> EngineOptions:
+    """The engine options the command's flags describe.
+
+    Validates ``--engine event`` against the selected pack up front so
+    unsupported combinations fail with a flag-level message instead of
+    a mid-run engine error (the engine's own check stays authoritative
+    for policies and non-CLI callers).
+    """
+    engine = EngineCoreConfig(kind=args.engine)
+    if (
+        engine.kind == "event"
+        and pack is not None
+        and not getattr(pack, "supports_event_core", True)
+    ):
+        raise SystemExit(
+            f"error: pack {pack.name!r} does not support --engine event "
+            "yet; rerun with --engine slot"
+        )
+    return EngineOptions(engine=engine)
+
+
 def _comparison_from(args: argparse.Namespace) -> list:
     config = _config_from(args)
+    pack = _pack_from(args, config)
     return run_comparison(
         config,
         alpha=args.alpha,
         use_cache=not args.no_cache,
         orchestrator=_orchestrator_from(args),
-        pack=_pack_from(args, config),
+        pack=pack,
+        options=_options_from(args, pack),
     )
 
 
@@ -254,12 +294,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
     """
     config = _config_from(args)
     if args.seeds > 1:
+        pack = _pack_from(args, config)
         replicates = run_replicated_comparison(
             config,
             alpha=args.alpha,
             seeds=tuple(range(args.seed, args.seed + args.seeds)),
             orchestrator=_orchestrator_from(args),
-            pack=_pack_from(args, config),
+            pack=pack,
+            options=_options_from(args, pack),
         )
         print(format_replicated_comparison(replicates))
         return 0
@@ -305,11 +347,13 @@ def cmd_alpha(args: argparse.Namespace) -> int:
     """Sweep Eq. 5's alpha and mark the Pareto-efficient settings."""
     config = _config_from(args)
     alphas = tuple(float(a) for a in args.alphas.split(","))
+    pack = _pack_from(args, config)
     points = alpha_sweep(
         config,
         alphas,
         orchestrator=_orchestrator_from(args),
-        pack=_pack_from(args, config),
+        pack=pack,
+        options=_options_from(args, pack),
     )
     front = {point.alpha for point in pareto_front(points)}
     print(
@@ -328,11 +372,13 @@ def cmd_alpha(args: argparse.Namespace) -> int:
 def cmd_bound(args: argparse.Namespace) -> int:
     """Compare each policy's realized cost against the LP oracle."""
     config = _config_from(args)
+    pack = _pack_from(args, config)
     bounds = comparison_bounds(
         config,
         alpha=args.alpha,
         orchestrator=_orchestrator_from(args),
-        pack=_pack_from(args, config),
+        pack=pack,
+        options=_options_from(args, pack),
     )
     print(
         f"{'policy':<12} {'cost EUR':>10} {'LP bound':>10} {'gap %':>7}"
@@ -352,11 +398,13 @@ def cmd_bound(args: argparse.Namespace) -> int:
 def cmd_scenarios(args: argparse.Namespace) -> int:
     """Run the workload-mix scenario study."""
     config = _config_from(args)
+    pack = _pack_from(args, config)
     outcomes = run_scenarios(
         config,
         alpha=args.alpha,
         orchestrator=_orchestrator_from(args),
-        pack=_pack_from(args, config),
+        pack=pack,
+        options=_options_from(args, pack),
     )
     print(format_outcomes(outcomes))
     return 0
@@ -379,10 +427,12 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         "qos": sweep_qos,
         "pv": sweep_pv_scale,
     }
+    pack = _pack_from(args, config)
     rows = sweeps[args.parameter](
         config,
         orchestrator=_orchestrator_from(args),
-        pack=_pack_from(args, config),
+        pack=pack,
+        options=_options_from(args, pack),
     )
     print(format_rows(rows))
     return 0
@@ -438,13 +488,28 @@ def _workload_cache_cell(stats: dict | None) -> str:
     return f"{hits}/{lookups} @ {mib:.0f}MiB"
 
 
+def _engine_modes_cell(counts: dict | None) -> str:
+    """Compact per-member engine-mode column for ``fleet status``.
+
+    ``slot:N,event:M`` (only modes actually seen, slot first), or
+    ``-`` for old daemons that don't report the counts or members
+    that haven't decoded a submission yet.
+    """
+    if not counts:
+        return "-"
+    order = {"slot": 0, "event": 1}
+    modes = sorted(counts, key=lambda mode: (order.get(mode, 99), mode))
+    return ",".join(f"{mode}:{counts[mode]}" for mode in modes)
+
+
 def cmd_fleet_status(args: argparse.Namespace) -> int:
     """Probe every fleet member; exit 0 only when all are alive."""
     fleet = FleetClient(parse_fleet_spec(args.service))
     payload = fleet.status()["fleet"]
     print(
         f"{'member':<28} {'state':<6} {'daemon-id':<20} "
-        f"{'jobs':>4} {'inflight':>8} {'queued':>6} {'wl-cache':>14}"
+        f"{'jobs':>4} {'inflight':>8} {'queued':>6} {'wl-cache':>14} "
+        f"{'engines':>14}"
     )
     for member in payload["members"]:
         if member["alive"]:
@@ -453,7 +518,8 @@ def cmd_fleet_status(args: argparse.Namespace) -> int:
                 f"{member['daemon_id'] or '-':<20} "
                 f"{member['jobs'] or 0:>4} {member['inflight'] or 0:>8} "
                 f"{member['queue_depth'] or 0:>6} "
-                f"{_workload_cache_cell(member.get('workload_cache')):>14}"
+                f"{_workload_cache_cell(member.get('workload_cache')):>14} "
+                f"{_engine_modes_cell(member.get('engine_modes')):>14}"
             )
         else:
             print(
@@ -667,6 +733,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="resolve runs against 'repro serve' daemon(s) instead of "
             "in-process: one URL, URL1,URL2,... for a fleet, or @FILE "
             "with one URL per line (mutually exclusive with --store)",
+        )
+        sub.add_argument(
+            "--engine",
+            choices=("slot", "event"),
+            default="slot",
+            help="simulation driver: the slot-stepped reference loop or "
+            "the discrete-event core (byte-identical slot ledgers plus "
+            "per-request latency percentiles)",
         )
         sub.add_argument(
             "--workload-cache",

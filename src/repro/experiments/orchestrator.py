@@ -69,7 +69,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.experiments.sticky import StickyPool
-from repro.sim.config import ExperimentConfig
+from repro.sim.config import EngineCoreConfig, ExperimentConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.results import RunResult
 from repro.sim.state import PlacementPolicy
@@ -125,11 +125,19 @@ class EngineOptions:
     vectorized:
         Use the engine's vectorized hot paths (bit-identical to the
         reference loops; part of the fingerprint for provenance only).
+    engine:
+        The :class:`~repro.sim.config.EngineCoreConfig` selecting the
+        simulation driver (``slot`` or ``event``) and its request-
+        stream intensity.  Part of the fingerprint: an event run
+        carries a per-request ledger a slot run does not, so they are
+        distinct artifacts even though their slot ledgers are
+        byte-identical.
     """
 
     validate: bool = True
     clairvoyant: bool = False
     vectorized: bool = True
+    engine: EngineCoreConfig = field(default_factory=EngineCoreConfig)
 
 
 def canonical(value):
@@ -339,6 +347,7 @@ def execute_request(request: RunRequest) -> RunResult:
         clairvoyant=request.options.clairvoyant,
         vectorized=request.options.vectorized,
         workload=request.pack,
+        engine=request.options.engine,
     )
     return engine.run()
 
@@ -422,6 +431,7 @@ def _timed_execute_task(
         clairvoyant=request.options.clairvoyant,
         vectorized=request.options.vectorized,
         materialization=materialization,
+        engine=request.options.engine,
     )
     result = engine.run()
     elapsed = time.perf_counter() - start

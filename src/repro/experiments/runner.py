@@ -65,6 +65,7 @@ def run_comparison(
     jobs: int = 1,
     orchestrator: Orchestrator | None = None,
     pack: TracePack | None = None,
+    options: EngineOptions | None = None,
 ) -> list[RunResult]:
     """Run the four methods over one workload realization.
 
@@ -86,12 +87,17 @@ def run_comparison(
     pack:
         Workload pack for every run (``None`` = synthetic default);
         its content hash keys the result store.
+    options:
+        Engine options for every run (``None`` = defaults) -- e.g.
+        the ``--engine event`` driver selection; part of each run's
+        fingerprint.
     """
     orchestrator = orchestrator or default_orchestrator()
     if jobs != 1:
         orchestrator = orchestrator.with_jobs(jobs)
     requests = grid_requests(
-        [config], lambda _: default_policies(alpha), pack=pack
+        [config], lambda _: default_policies(alpha), pack=pack,
+        options=options,
     )
     # Comparison results feed figures and tables that walk the full
     # ledger, so the service path must ship it -- no projection.
@@ -108,6 +114,7 @@ def run_replicated_comparison(
     jobs: int = 1,
     orchestrator: Orchestrator | None = None,
     pack: TracePack | None = None,
+    options: EngineOptions | None = None,
 ) -> dict[str, list[RunResult]]:
     """The four-method comparison replicated over several seeds.
 
@@ -120,7 +127,8 @@ def run_replicated_comparison(
     if jobs != 1:
         orchestrator = orchestrator.with_jobs(jobs)
     requests = grid_requests(
-        [config], lambda _: default_policies(alpha), seeds=list(seeds), pack=pack
+        [config], lambda _: default_policies(alpha), seeds=list(seeds),
+        pack=pack, options=options,
     )
     artifacts = orchestrator.run_many(requests, detail="full")
     replicates: dict[str, list[RunResult]] = {}

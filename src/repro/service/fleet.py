@@ -711,6 +711,7 @@ class FleetClient:
                     "inflight": member.health.get("inflight"),
                     "queue_depth": member.health.get("queue_depth"),
                     "workload_cache": member.health.get("workload_cache"),
+                    "engine_modes": member.health.get("engine_modes"),
                 }
             )
         alive = sum(1 for member in members if member["alive"])

@@ -316,6 +316,7 @@ def encode_health(
     inflight: int,
     queue_depth: int,
     workload_cache: dict | None = None,
+    engine_modes: dict | None = None,
 ) -> dict:
     """The ``GET /healthz`` payload: liveness plus load.
 
@@ -328,6 +329,10 @@ def encode_health(
     (optional -- old daemons simply omit it) summarizes the member's
     workload materialization cache so ``repro fleet status`` can show
     cache efficacy per member without a ``/stats`` round trip.
+    ``engine_modes`` (optional, same omission contract) counts the
+    decoded submissions per simulation driver (``{"slot": N,
+    "event": M}``) so the fleet view can show which engine cores a
+    member has been serving.
     """
     payload = {
         "wire_version": WIRE_VERSION,
@@ -341,6 +346,8 @@ def encode_health(
     }
     if workload_cache is not None:
         payload["workload_cache"] = workload_cache
+    if engine_modes is not None:
+        payload["engine_modes"] = engine_modes
     return payload
 
 

@@ -197,6 +197,11 @@ class ExperimentDaemon:
             "computed": 0,
             "errors": 0,
         }
+        #: Decoded submissions per simulation driver ("slot"/"event").
+        #: Counted on the decode path only -- warm fast-path hits answer
+        #: from the response cache without decoding, so these are
+        #: "requests whose engine mode this daemon actually saw".
+        self.engine_modes: dict[str, int] = {}
         self.wire_counters = {
             "bytes_in": 0,
             "bytes_out": 0,
@@ -451,6 +456,10 @@ class ExperimentDaemon:
             return 400, _dumps(
                 encode_error(str(error), status=400, wire_version=version)
             ), "identity"
+        engine = getattr(request.options, "engine", None)
+        kind = getattr(engine, "kind", "slot")
+        with self._lock:
+            self.engine_modes[kind] = self.engine_modes.get(kind, 0) + 1
         if use_store:
             hit = self.orchestrator.lookup(request, fingerprint)
             if hit is not None:
@@ -748,7 +757,12 @@ class ExperimentDaemon:
             inflight=inflight,
             queue_depth=queue_depth,
             workload_cache=self.orchestrator.workload_cache_stats(),
+            engine_modes=self._engine_mode_counts(),
         )
+
+    def _engine_mode_counts(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self.engine_modes)
 
     def stats(self) -> dict:
         """The ``/stats`` payload."""
@@ -771,6 +785,7 @@ class ExperimentDaemon:
             "store": self.orchestrator.store.stats(),
             "wire": wire,
             "workload_cache": self.orchestrator.workload_cache_stats(),
+            "engine_modes": self._engine_mode_counts(),
             **counters,
         }
 

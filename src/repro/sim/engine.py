@@ -18,11 +18,21 @@ Each slot the engine (Section IV-A's protocol):
 The engine owns all mutation (battery state, forecaster history);
 policies only read the observation.
 
+Since the event-core refactor the per-slot physics and accounting live
+in the driver-agnostic :class:`~repro.sim.kernel.SlotKernel`; this
+module keeps the engine facade and the *slot driver* -- the reference
+slot-stepped loop.  A second driver, the discrete-event
+:class:`~repro.sim.events.EventCore`, advances the same kernel from a
+typed event heap (``--engine event``); its slot-boundary ledgers are
+byte-identical to the slot driver's because both call the identical
+``observe``/``step`` kernel pair per slot.
+
 The per-slot physics hot paths ship in two interchangeable
 implementations: the original reference loops (per-server/per-VM
 Python loops, one scalar green-controller pass per DC) and the
 fleet-batched kernel -- one CSR membership product over the *whole*
-placement for every DC's IT power (:meth:`SimulationEngine._fleet_it_power`),
+placement for every DC's IT power
+(:meth:`~repro.sim.kernel.SlotKernel._fleet_it_power`),
 one batched PUE broadcast, and one struct-of-arrays green-controller
 pass stepping every battery at once
 (:meth:`~repro.core.green.GreenController.run_slot_fleet`).  The Eq. 1
@@ -36,23 +46,45 @@ so results are independent of the ``vectorized`` flag.
 
 from __future__ import annotations
 
-import numpy as np
-from scipy import sparse
-
 from repro.core.green import GreenController
-from repro.datacenter.pue import fleet_pue
 from repro.sim.config import (
+    EngineCoreConfig,
     ExperimentConfig,
     build_datacenters,
     build_latency_model,
 )
-from repro.sim.results import DCSlotRecord, RunResult, SlotRecord
-from repro.sim.state import FleetPlacement, PlacementPolicy, SlotObservation
+from repro.sim.kernel import SlotKernel
+from repro.sim.results import RunResult
+from repro.sim.state import PlacementPolicy
 from repro.units import SECONDS_PER_HOUR
 from repro.workload.arrivals import VMPopulation
 from repro.workload.materialize import materialization_key
 from repro.workload.packs import LibraryWorkload, WorkloadProvider, default_pack
-from repro.workload.vm import VirtualMachine
+
+#: Kernel internals the facade forwards one-to-one.  The equivalence
+#: tests and benchmarks address the physics through the engine
+#: (``engine._fleet_it_power(...)``), which predates the kernel split;
+#: keeping the surface stable means the bit-identity pins need not know
+#: where the code lives.
+_KERNEL_FORWARDS = frozenset(
+    {
+        "_demand",
+        "_demand_row",
+        "_demand_cache",
+        "_demand_cache_slots",
+        "_evict_cache",
+        "_slot_volumes",
+        "_level_arrays",
+        "_level_cache",
+        "_dc_it_power",
+        "_dc_it_power_loop",
+        "_dc_it_power_vectorized",
+        "_fleet_it_power",
+        "_response_latencies",
+        "_response_latencies_loop",
+        "_response_latencies_vectorized",
+    }
+)
 
 
 class SimulationEngine:
@@ -103,6 +135,15 @@ class SimulationEngine:
         ``workload`` / ``trace_library`` must not also be passed.
         Purely an execution detail: runs are bit-identical with or
         without it.
+    engine:
+        The :class:`~repro.sim.config.EngineCoreConfig` selecting the
+        driver: ``kind="slot"`` (default) steps the kernel slot by
+        slot; ``kind="event"`` drains a typed event heap
+        (:class:`~repro.sim.events.EventCore`) and additionally samples
+        per-request latencies.  Slot-boundary ledgers are byte-identical
+        either way.  Rejected with ``ValueError`` for policies that
+        declare ``requires_slot_engine`` or workloads that declare
+        ``supports_event_core = False``.
     """
 
     def __init__(
@@ -115,6 +156,7 @@ class SimulationEngine:
         vectorized: bool = True,
         workload: WorkloadProvider | None = None,
         materialization=None,
+        engine: EngineCoreConfig | None = None,
     ) -> None:
         if workload is not None and trace_library is not None:
             raise ValueError(
@@ -155,418 +197,83 @@ class SimulationEngine:
                     else default_pack()
                 )
             config = workload.configure(config)
+        if engine is None:
+            engine = EngineCoreConfig()
+        if engine.kind == "event":
+            if getattr(policy, "requires_slot_engine", False):
+                raise ValueError(
+                    f"policy {policy.name!r} requires the slot engine "
+                    "(requires_slot_engine is set); rerun with "
+                    "--engine slot"
+                )
+            if not getattr(workload, "supports_event_core", True):
+                raise ValueError(
+                    "workload "
+                    f"{workload.descriptor().get('name', '?')!r} does "
+                    "not support the event core yet; rerun with "
+                    "--engine slot"
+                )
         self.config = config
         self.policy = policy
         self.validate = validate
         self.clairvoyant = clairvoyant
         self.vectorized = vectorized
         self.workload = workload
+        self.engine_config = engine
         self._materialization = materialization
 
         if materialization is not None:
-            self.population = materialization.population
-            self.traces = materialization.traces
-            self.volumes = materialization.volumes
+            population = materialization.population
+            traces = materialization.traces
+            volumes = materialization.volumes
         else:
-            self.population = VMPopulation.generate(
+            population = VMPopulation.generate(
                 config.arrival_model, config.horizon_slots, seed=config.seed
             )
-            self.traces = workload.build_traces(config)
-            self.volumes = workload.build_volumes(
-                config, vectorized=vectorized
-            )
-        self.latency_model = build_latency_model(config)
-        self.green = GreenController(
-            step_s=SECONDS_PER_HOUR / config.steps_per_slot
+            traces = workload.build_traces(config)
+            volumes = workload.build_volumes(config, vectorized=vectorized)
+        self.kernel = SlotKernel(
+            config,
+            population=population,
+            traces=traces,
+            volumes=volumes,
+            latency_model=build_latency_model(config),
+            green=GreenController(
+                step_s=SECONDS_PER_HOUR / config.steps_per_slot
+            ),
+            vectorized=vectorized,
+            materialization=materialization,
         )
-        self._demand_cache: dict[tuple[int, int], np.ndarray] = {}
-        #: Per-slot buckets of cache keys so eviction touches only the
-        #: keys it removes (O(evicted)), not every live key each slot.
-        self._demand_cache_slots: dict[int, list[tuple[int, int]]] = {}
-        #: Per-ServerModel (capacity, idle, peak) level arrays, keyed
-        #: by object id; the value keeps the model alive so ids stay
-        #: unique.  Server models are fixed per spec, so the fleet
-        #: kernel gathers per-server coefficients without rebuilding
-        #: these arrays every slot.
-        self._level_cache: dict[int, tuple] = {}
+        self.population = population
+        self.traces = traces
+        self.volumes = volumes
+        self.latency_model = self.kernel.latency_model
+        self.green = self.kernel.green
 
-    def _level_arrays(self, model) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Cached per-level (capacity, idle W, peak W) arrays of a model."""
-        cached = self._level_cache.get(id(model))
-        if cached is None or cached[0] is not model:
-            cached = (
-                model,
-                np.array(
-                    [model.capacity(index) for index in range(len(model.levels))]
-                ),
-                np.array([spec.idle_watts for spec in model.levels]),
-                np.array([spec.peak_watts for spec in model.levels]),
-            )
-            self._level_cache[id(model)] = cached
-        return cached[1], cached[2], cached[3]
-
-    # -- workload access ------------------------------------------------
-
-    def _demand_row(self, vm: VirtualMachine, slot: int) -> np.ndarray:
-        key = (vm.vm_id, slot)
-        row = self._demand_cache.get(key)
-        if row is None:
-            row = self.traces.slot_demand(vm, slot)
-            self._demand_cache[key] = row
-            self._demand_cache_slots.setdefault(slot, []).append(key)
-        return row
-
-    def _demand(self, vms: list[VirtualMachine], slot: int) -> np.ndarray:
-        if not vms:
-            return np.zeros((0, self.config.steps_per_slot))
-        if self._materialization is not None:
-            matrix = self._materialization.demand(vms, slot)
-            if matrix is not None:
-                return matrix
-        many = getattr(self.traces, "slot_demand_many", None)
-        if not self.vectorized or many is None:
-            return np.stack([self._demand_row(vm, slot) for vm in vms])
-        cached = [self._demand_cache.get((vm.vm_id, slot)) for vm in vms]
-        missing = [index for index, row in enumerate(cached) if row is None]
-        if not missing:
-            return np.stack(cached)
-        if len(missing) == len(vms):
-            matrix = many(vms, slot)
-        else:
-            matrix = np.empty((len(vms), self.config.steps_per_slot))
-            for index, row in enumerate(cached):
-                if row is not None:
-                    matrix[index] = row
-            fresh = many([vms[index] for index in missing], slot)
-            for position, index in enumerate(missing):
-                matrix[index] = fresh[position]
-        # Freeze so cached row views cannot be corrupted downstream --
-        # nothing in the engine or the policies writes to demand
-        # matrices, and the materialization path serves frozen arrays
-        # already.
-        matrix.flags.writeable = False
-        for index in missing:
-            key = (vms[index].vm_id, slot)
-            self._demand_cache[key] = matrix[index]
-            self._demand_cache_slots.setdefault(slot, []).append(key)
-        return matrix
-
-    def _slot_volumes(self, vms: list[VirtualMachine], slot: int):
-        """The slot's volume matrix, via the shared materialization
-        cache when one is installed (with per-run fallback)."""
-        if self._materialization is not None:
-            matrix = self._materialization.volume_matrix(vms, slot)
-            if matrix is not None:
-                return matrix
-        return self.volumes.volumes(vms, slot)
-
-    def _evict_cache(self, older_than_slot: int) -> None:
-        for slot in [s for s in self._demand_cache_slots if s < older_than_slot]:
-            for key in self._demand_cache_slots.pop(slot):
-                del self._demand_cache[key]
-
-    # -- per-slot physics -------------------------------------------------
-
-    def _dc_it_power(
-        self,
-        placement: FleetPlacement,
-        dc_index: int,
-        vm_rows: dict[int, int],
-        demand_now: np.ndarray,
-    ) -> tuple[np.ndarray, int]:
-        """IT power trace (W) and active server count of one DC."""
-        if self.vectorized:
-            return self._dc_it_power_vectorized(
-                placement, dc_index, vm_rows, demand_now
-            )
-        return self._dc_it_power_loop(placement, dc_index, vm_rows, demand_now)
-
-    def _dc_it_power_loop(
-        self,
-        placement: FleetPlacement,
-        dc_index: int,
-        vm_rows: dict[int, int],
-        demand_now: np.ndarray,
-    ) -> tuple[np.ndarray, int]:
-        """Reference implementation: per-server/per-VM Python loops."""
-        allocation = placement.allocations[dc_index]
-        power = np.zeros(self.config.steps_per_slot)
-        model = allocation.model
-        for server_vms, level in zip(allocation.server_vms, allocation.frequencies):
-            aggregate = np.zeros(self.config.steps_per_slot)
-            for vm_id in server_vms:
-                aggregate += demand_now[vm_rows[vm_id]]
-            power += model.power_trace(level, aggregate)
-        return power, allocation.active_servers
-
-    def _dc_it_power_vectorized(
-        self,
-        placement: FleetPlacement,
-        dc_index: int,
-        vm_rows: dict[int, int],
-        demand_now: np.ndarray,
-    ) -> tuple[np.ndarray, int]:
-        """Grouped segment-sum implementation of :meth:`_dc_it_power`.
-
-        The per-server demand aggregation is one CSR
-        server-by-VM-row indicator matrix multiplied against the demand
-        block -- a single C-speed pass that segment-sums each server's
-        VM rows.  The CSR product accumulates each output row's terms
-        sequentially in stored-column order, which is the loop
-        reference's VM order, so every per-server aggregate -- and
-        therefore the power trace -- is bit-identical to the loops.
-        The final reduction uses ``sum(axis=0)``, which likewise
-        accumulates rows sequentially exactly like the reference's
-        ``power +=``.
-
-        ``run()`` no longer calls this per DC: the fleet-batched
-        :meth:`_fleet_it_power` evaluates the whole placement in one
-        CSR product.  This per-DC form is retained as the
-        middle-reference the equivalence tests and benchmarks compare
-        against.
-        """
-        allocation = placement.allocations[dc_index]
-        n_servers = len(allocation.server_vms)
-        if n_servers == 0:
-            return np.zeros(self.config.steps_per_slot), allocation.active_servers
-        model = allocation.model
-        row_of_vm = np.array(
-            [vm_rows[vm_id] for vms in allocation.server_vms for vm_id in vms],
-            dtype=int,
+    def __getattr__(self, name: str):
+        # Back-compat facade over the kernel split: the physics/cache
+        # internals moved to SlotKernel but keep answering here.
+        kernel = self.__dict__.get("kernel")
+        if kernel is not None and name in _KERNEL_FORWARDS:
+            return getattr(kernel, name)
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
         )
-        indptr = np.concatenate(
-            ([0], np.cumsum([len(vms) for vms in allocation.server_vms]))
-        )
-        membership = sparse.csr_matrix(
-            (np.ones(row_of_vm.size), row_of_vm, indptr),
-            shape=(n_servers, demand_now.shape[0]),
-        )
-        aggregate = membership @ demand_now
-
-        levels = np.asarray(allocation.frequencies, dtype=int)
-        level_caps = np.array(
-            [model.capacity(index) for index in range(len(model.levels))]
-        )
-        level_idle = np.array([spec.idle_watts for spec in model.levels])
-        level_peak = np.array([spec.peak_watts for spec in model.levels])
-        utilization = np.clip(aggregate / level_caps[levels, None], 0.0, 1.0)
-        per_server = (
-            level_idle[levels, None]
-            + (level_peak[levels, None] - level_idle[levels, None]) * utilization
-        )
-        return per_server.sum(axis=0), allocation.active_servers
-
-    def _fleet_it_power(
-        self,
-        placement: FleetPlacement,
-        vm_rows: dict[int, int],
-        demand_now: np.ndarray,
-    ) -> tuple[np.ndarray, list[int]]:
-        """IT power traces (W) of *every* DC from one CSR product.
-
-        Builds a single server-by-VM-row membership matrix over the
-        whole placement -- block rows per DC, in DC index order --
-        instead of rebuilding one matrix per DC per slot, and computes
-        all per-server aggregates and power draws in one pass.
-        Returns the ``(n_dcs, steps)`` power matrix and the per-DC
-        active-server counts.
-
-        Bit-identity with :meth:`_dc_it_power_vectorized` (and hence
-        with the loop reference): a CSR row's product terms accumulate
-        in stored-column order regardless of which other rows share
-        the matrix, the per-server power expression is elementwise,
-        and each DC's final reduction is ``sum(axis=0)`` over its
-        *contiguous block* of per-server rows -- the same rows, in the
-        same order, reduced the same way as the per-DC call.
-        """
-        steps = self.config.steps_per_slot
-        allocations = placement.allocations
-        actives = [allocation.active_servers for allocation in allocations]
-        counts = [len(allocation.server_vms) for allocation in allocations]
-        power = np.zeros((self.config.n_dcs, steps))
-        if sum(counts) == 0:
-            return power, actives
-
-        row_of_vm = np.array(
-            [
-                vm_rows[vm_id]
-                for allocation in allocations
-                for vms in allocation.server_vms
-                for vm_id in vms
-            ],
-            dtype=int,
-        )
-        indptr = np.concatenate(
-            (
-                [0],
-                np.cumsum(
-                    [
-                        len(vms)
-                        for allocation in allocations
-                        for vms in allocation.server_vms
-                    ]
-                ),
-            )
-        )
-        membership = sparse.csr_matrix(
-            (np.ones(row_of_vm.size), row_of_vm, indptr),
-            shape=(sum(counts), demand_now.shape[0]),
-        )
-        aggregate = membership @ demand_now
-
-        cap_rows, idle_rows, peak_rows = [], [], []
-        for allocation in allocations:
-            if not allocation.server_vms:
-                continue
-            levels = np.asarray(allocation.frequencies, dtype=int)
-            level_caps, level_idle, level_peak = self._level_arrays(
-                allocation.model
-            )
-            cap_rows.append(level_caps[levels])
-            idle_rows.append(level_idle[levels])
-            peak_rows.append(level_peak[levels])
-        caps = np.concatenate(cap_rows)
-        idle = np.concatenate(idle_rows)
-        peaks = np.concatenate(peak_rows)
-        # clip(x, 0, 1) reduced to the saturation bound with buffer
-        # reuse.  The lower clip is dropped: aggregates are sums of
-        # non-negative demand over positive capacities, so utilization
-        # can only differ from clip's by the sign of a zero -- and
-        # ``idle + span * u`` maps both zeros to the same bits.
-        utilization = np.divide(aggregate, caps[:, None], out=aggregate)
-        np.minimum(utilization, 1.0, out=utilization)
-        per_server = np.multiply(
-            utilization, (peaks - idle)[:, None], out=utilization
-        )
-        per_server += idle[:, None]
-
-        bounds = np.concatenate(([0], np.cumsum(counts)))
-        for dc_index in range(self.config.n_dcs):
-            block = per_server[bounds[dc_index] : bounds[dc_index + 1]]
-            if block.shape[0]:
-                power[dc_index] = block.sum(axis=0)
-        return power, actives
-
-    def _response_latencies(
-        self,
-        placement: FleetPlacement,
-        vms: list[VirtualMachine],
-        volumes_now: np.ndarray,
-        slot: int,
-    ) -> list[tuple[float, int]]:
-        """Eq. 1 latency and receiving-VM count per destination DC."""
-        if self.vectorized:
-            return self._response_latencies_vectorized(
-                placement, vms, volumes_now, slot
-            )
-        return self._response_latencies_loop(placement, vms, volumes_now, slot)
-
-    def _response_latencies_loop(
-        self,
-        placement: FleetPlacement,
-        vms: list[VirtualMachine],
-        volumes_now: np.ndarray,
-        slot: int,
-    ) -> list[tuple[float, int]]:
-        """Reference implementation: per-src/dst dict loops."""
-        n_dcs = self.config.n_dcs
-        dc_of = np.array([placement.assignment[vm.vm_id] for vm in vms], dtype=int)
-        results: list[tuple[float, int]] = []
-        received = volumes_now.sum(axis=0)  # MB flowing into each VM
-        for dst in range(n_dcs):
-            members = np.nonzero(dc_of == dst)[0]
-            if members.size == 0:
-                results.append((0.0, 0))
-                continue
-            volumes_from = {}
-            for src in range(n_dcs):
-                senders = np.nonzero(dc_of == src)[0]
-                if senders.size == 0:
-                    continue
-                volume = float(volumes_now[np.ix_(senders, members)].sum())
-                if volume > 0.0:
-                    volumes_from[src] = volume
-            latency = self.latency_model.destination_latency(
-                dst, volumes_from, slot
-            ).total_s
-            receiving = int(np.count_nonzero(received[members] > 0.0))
-            results.append((latency, receiving))
-        return results
-
-    def _response_latencies_vectorized(
-        self,
-        placement: FleetPlacement,
-        vms: list[VirtualMachine],
-        volumes_now: np.ndarray,
-        slot: int,
-    ) -> list[tuple[float, int]]:
-        """Grouped-matrix implementation of :meth:`_response_latencies`.
-
-        One stable argsort yields each DC's member indices (ascending,
-        matching the reference's ``np.nonzero``), replacing the
-        reference's 2 x n_dcs ``np.nonzero`` scans; each pair volume is
-        then the reference's own ``volumes[np.ix_(src, dst)].sum()`` --
-        bit-identical by construction, with one fused gather+sum per
-        pair instead of the previous whole-matrix blocked gather plus
-        a redundant per-block ``ascontiguousarray`` copy (3x the
-        memory traffic).
-
-        Deliberately *not* ``np.add.reduceat``: reduceat accumulates
-        strictly left-to-right while ndarray ``.sum()`` reduces
-        pairwise, so their float64 results differ in the last ulps for
-        any realistic block -- it cannot satisfy the bit-identity
-        contract (see test_reduceat_is_not_bit_identical).
-        """
-        n_dcs = self.config.n_dcs
-        dc_of = np.array([placement.assignment[vm.vm_id] for vm in vms], dtype=int)
-        n_vms = dc_of.size
-        received = volumes_now.sum(axis=0)  # MB flowing into each VM
-        if n_vms == 0:
-            member_counts = np.zeros(n_dcs, dtype=int)
-            receiving_counts = np.zeros(n_dcs, dtype=int)
-            pair_volumes = np.zeros((n_dcs, n_dcs))
-        else:
-            member_counts = np.bincount(dc_of, minlength=n_dcs)
-            receiving_counts = np.bincount(
-                dc_of[received > 0.0], minlength=n_dcs
-            )
-            order = np.argsort(dc_of, kind="stable")
-            bounds = np.concatenate(([0], np.cumsum(member_counts)))
-            groups = [
-                order[bounds[dc] : bounds[dc + 1]] for dc in range(n_dcs)
-            ]
-            pair_volumes = np.zeros((n_dcs, n_dcs))
-            for src in range(n_dcs):
-                if member_counts[src] == 0:
-                    continue
-                for dst in range(n_dcs):
-                    if member_counts[dst] == 0:
-                        continue
-                    pair_volumes[src, dst] = volumes_now[
-                        np.ix_(groups[src], groups[dst])
-                    ].sum()
-
-        results: list[tuple[float, int]] = []
-        for dst in range(n_dcs):
-            if member_counts[dst] == 0:
-                results.append((0.0, 0))
-                continue
-            volumes_from = {
-                src: float(pair_volumes[src, dst])
-                for src in range(n_dcs)
-                if pair_volumes[src, dst] > 0.0
-            }
-            latency = self.latency_model.destination_latency(
-                dst, volumes_from, slot
-            ).total_s
-            results.append((latency, int(receiving_counts[dst])))
-        return results
 
     # -- main loop ---------------------------------------------------------
 
     def run(self) -> RunResult:
         """Simulate the full horizon and return the result ledger."""
+        if self.engine_config.kind == "event":
+            from repro.sim.events import EventCore
+
+            return EventCore(self).run()
+        return self._run_slot_driver()
+
+    def _run_slot_driver(self) -> RunResult:
+        """The reference driver: one kernel observe/step pair per slot."""
         config = self.config
+        kernel = self.kernel
         self.policy.reset()
         dcs = build_datacenters(config)
         result = RunResult(policy_name=self.policy.name, config_name=config.name)
@@ -574,88 +281,20 @@ class SimulationEngine:
 
         for slot in range(config.horizon_slots):
             vms = self.population.alive(slot)
-            vm_rows = {vm.vm_id: row for row, vm in enumerate(vms)}
-            observed_slot = slot if self.clairvoyant else max(slot - 1, 0)
-            demand_prev = self._demand(vms, observed_slot)
-            volumes_prev = self._slot_volumes(vms, observed_slot)
-
-            observation = SlotObservation(
-                slot=slot,
-                vms=vms,
-                demand_traces=demand_prev,
-                volumes=volumes_prev,
-                previous_assignment={
-                    vm.vm_id: previous_assignment[vm.vm_id]
-                    for vm in vms
-                    if vm.vm_id in previous_assignment
-                },
-                dcs=dcs,
-                latency_model=self.latency_model,
-                latency_constraint_s=config.latency_constraint_s,
+            observation = kernel.observe(
+                slot,
+                vms,
+                previous_assignment,
+                dcs,
+                clairvoyant=self.clairvoyant,
             )
             placement = self.policy.place(observation)
             if self.validate:
                 placement.validate(observation)
 
-            demand_now = self._demand(vms, slot)
-            volumes_now = self._slot_volumes(vms, slot)
-            latencies = self._response_latencies(
-                placement, vms, volumes_now.volumes, slot
-            )
-
-            slot_record = SlotRecord(
-                slot=slot,
-                n_vms=len(vms),
-                migrations=len(placement.moves),
-                migration_volume_mb=sum(move.image_mb for move in placement.moves),
-            )
-
-            times = slot * SECONDS_PER_HOUR + (
-                (np.arange(config.steps_per_slot) + 0.5)
-                * (SECONDS_PER_HOUR / config.steps_per_slot)
-            )
-            step_s = SECONDS_PER_HOUR / config.steps_per_slot
-            if self.vectorized:
-                # Fleet-batched slot physics: one CSR product for all
-                # DCs' IT power, one PUE broadcast, one green-controller
-                # kernel stepping every battery as struct-of-arrays.
-                it_matrix, actives = self._fleet_it_power(
-                    placement, vm_rows, demand_now
-                )
-                facility_matrix = it_matrix * fleet_pue(
-                    [dc.spec.pue_model for dc in dcs], times
-                )
-                greens = self.green.run_slot_fleet(dcs, slot, facility_matrix)
-                it_traces = list(it_matrix)
-            else:
-                greens, actives, it_traces = [], [], []
-                for dc in dcs:
-                    it_power, active = self._dc_it_power(
-                        placement, dc.index, vm_rows, demand_now
-                    )
-                    facility_power = it_power * dc.spec.pue_model.pue(times)
-                    greens.append(self.green.run_slot(dc, slot, facility_power))
-                    actives.append(active)
-                    it_traces.append(it_power)
-            for dc in dcs:
-                green = greens[dc.index]
-                dc.record_slot(slot, green.facility_energy, green.pv_generated)
-                latency, receiving = latencies[dc.index]
-                slot_record.dc_records.append(
-                    DCSlotRecord(
-                        green=green,
-                        it_energy_joules=float(
-                            it_traces[dc.index].sum() * step_s
-                        ),
-                        active_servers=actives[dc.index],
-                        response_latency_s=latency,
-                        receiving_vms=receiving,
-                    )
-                )
-
-            result.slots.append(slot_record)
+            result.slots.append(kernel.step(slot, vms, placement, dcs))
             previous_assignment = dict(placement.assignment)
-            self._evict_cache(slot)
+            kernel._evict_cache(slot)
 
         return result
 
@@ -668,14 +307,16 @@ def run_policies(
     clairvoyant: bool = False,
     vectorized: bool = True,
     workload: WorkloadProvider | None = None,
+    engine: EngineCoreConfig | None = None,
 ) -> list[RunResult]:
     """Run several policies over the *same* workload realization.
 
     Every engine derives its stochastic streams from ``config.seed``,
     so policies see identical VMs, traces, volumes, weather and BER --
     the paper's comparison protocol.  The engine options (``validate``,
-    ``trace_library``, ``clairvoyant``, ``vectorized``, ``workload``)
-    are forwarded to every :class:`SimulationEngine` constructed.
+    ``trace_library``, ``clairvoyant``, ``vectorized``, ``workload``,
+    ``engine``) are forwarded to every :class:`SimulationEngine`
+    constructed.
     """
     return [
         SimulationEngine(
@@ -686,6 +327,7 @@ def run_policies(
             clairvoyant=clairvoyant,
             vectorized=vectorized,
             workload=workload,
+            engine=engine,
         ).run()
         for policy in policies
     ]

@@ -28,6 +28,16 @@ from repro.units import joules_to_gj
 #: Any other percentile requires the full ledger.
 HEADLINE_PERCENTILES = (95.0, 99.0)
 
+#: Per-request latency percentiles a headline projection carries
+#: (event-engine runs only; ``None`` on slot-engine ledgers).
+REQUEST_PERCENTILES = (50.0, 99.0, 99.9)
+
+#: Sentinel distinguishing "key absent from the headline" (an old
+#: producer that predates request ledgers -- upgrade to the full
+#: result) from "key present with value None" (a slot-engine run: the
+#: ledger genuinely does not exist -- answer None, no upgrade).
+_MISSING = object()
+
 
 @dataclass
 class DCSlotRecord:
@@ -130,6 +140,12 @@ class RunResult:
     policy_name: str
     config_name: str
     slots: list[SlotRecord] = field(default_factory=list)
+    #: Per-request latency ledger, event-engine runs only: one
+    #: ``[slot, dc_index, latency_s, count]`` row per (slot, DC) batch
+    #: of simulated requests.  ``None`` on slot-engine runs -- the slot
+    #: abstraction has no request stream -- and the percentile
+    #: accessors degrade to ``None`` accordingly.
+    requests: list[list] | None = None
 
     @property
     def horizon(self) -> int:
@@ -195,6 +211,43 @@ class RunResult:
         samples = self.response_samples()
         return float(samples.max()) if samples.size else 0.0
 
+    # -- per-request latency tail (event engine only) ------------------
+    def total_requests(self) -> int | None:
+        """Simulated user requests over the run; ``None`` without a ledger."""
+        if self.requests is None:
+            return None
+        return int(sum(row[3] for row in self.requests))
+
+    def request_percentile_s(self, percentile: float) -> float | None:
+        """Percentile of the per-request latency distribution.
+
+        ``None`` on slot-engine runs (no request ledger); ``0.0`` for
+        an event-engine run that happened to serve zero requests.
+        """
+        if self.requests is None:
+            return None
+        if not self.requests:
+            return 0.0
+        from repro.sim.metrics import weighted_percentile
+
+        return weighted_percentile(
+            np.array([row[2] for row in self.requests]),
+            np.array([row[3] for row in self.requests]),
+            percentile,
+        )
+
+    def p50_request_s(self) -> float | None:
+        """Median per-request latency (event engine only)."""
+        return self.request_percentile_s(50.0)
+
+    def p99_request_s(self) -> float | None:
+        """99th-percentile per-request latency (event engine only)."""
+        return self.request_percentile_s(99.0)
+
+    def p999_request_s(self) -> float | None:
+        """99.9th-percentile per-request latency (event engine only)."""
+        return self.request_percentile_s(99.9)
+
     # -- misc -----------------------------------------------------------
     def total_migrations(self) -> int:
         """Inter-DC migrations executed over the run."""
@@ -219,12 +272,20 @@ class RunResult:
 
     # -- serialization -------------------------------------------------
     def to_dict(self) -> dict:
-        """Plain-dict form of the whole run (JSON-serializable)."""
-        return {
+        """Plain-dict form of the whole run (JSON-serializable).
+
+        The request ledger only appears when one exists, so
+        slot-engine dumps stay byte-identical to their pre-event-core
+        form (stored fingerprinted artifacts survive the upgrade).
+        """
+        payload = {
             "policy_name": self.policy_name,
             "config_name": self.config_name,
             "slots": [slot.to_dict() for slot in self.slots],
         }
+        if self.requests is not None:
+            payload["requests"] = [list(row) for row in self.requests]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RunResult":
@@ -233,6 +294,7 @@ class RunResult:
             policy_name=payload["policy_name"],
             config_name=payload["config_name"],
             slots=[SlotRecord.from_dict(slot) for slot in payload["slots"]],
+            requests=payload.get("requests"),
         )
 
     def summary(self) -> dict:
@@ -282,6 +344,13 @@ class RunResult:
                     percentile
                 )
                 for percentile in HEADLINE_PERCENTILES
+            },
+            "total_requests": self.total_requests(),
+            **{
+                f"p{percentile:g}_request_s": self.request_percentile_s(
+                    percentile
+                )
+                for percentile in REQUEST_PERCENTILES
             },
         }
 
@@ -362,6 +431,44 @@ class HeadlineResult:
         if value is not None:
             return value
         return self.full().percentile_response_s(percentile)
+
+    def total_requests(self) -> int | None:
+        """Simulated request count; ``None`` on slot-engine runs.
+
+        A headline lacking the key entirely (produced before request
+        ledgers existed) upgrades to the full result; a present-but-
+        ``None`` value is authoritative -- the run has no ledger and
+        fetching the full result could not change that.
+        """
+        value = self._headline.get("total_requests", _MISSING)
+        if value is _MISSING:
+            return self.full().total_requests()
+        return None if value is None else int(value)
+
+    def request_percentile_s(self, percentile: float) -> float | None:
+        """Per-request latency percentile, mirroring the RunResult rule."""
+        key = f"p{float(percentile):g}_request_s"
+        value = self._headline.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        if "total_requests" in self._headline:
+            # A request-aware headline without this percentile: answer
+            # from the full ledger only when one exists.
+            if self._headline["total_requests"] is None:
+                return None
+        return self.full().request_percentile_s(percentile)
+
+    def p50_request_s(self) -> float | None:
+        """Median per-request latency (event engine only)."""
+        return self.request_percentile_s(50.0)
+
+    def p99_request_s(self) -> float | None:
+        """99th-percentile per-request latency (event engine only)."""
+        return self.request_percentile_s(99.0)
+
+    def p999_request_s(self) -> float | None:
+        """99.9th-percentile per-request latency (event engine only)."""
+        return self.request_percentile_s(99.9)
 
     def total_migrations(self) -> int:
         """Count of VM migrations over the horizon."""

@@ -1,0 +1,107 @@
+"""Event-engine runs over the service wire: identity and visibility.
+
+The acceptance bar for the event core is byte-identical slot ledgers
+on *every* execution path, including ``--service``: a daemon decodes
+the request (with its :class:`~repro.sim.config.EngineCoreConfig`),
+simulates with the event driver in its own process, and ships the
+artifact back.  These tests pin the wire round-trip of the engine
+config, the cross-process ledger identity, and the daemon's
+engine-mode observability (``/stats``, ``/healthz``, fleet status).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.orchestrator import EngineOptions, RunRequest
+from repro.experiments.runner import default_policies
+from repro.service.fleet import FleetClient
+from repro.service.protocol import decode_request, encode_request
+from repro.sim.config import EngineCoreConfig
+from repro.sim.engine import SimulationEngine
+
+
+@pytest.fixture
+def event_request(tiny_config):
+    return RunRequest(
+        config=tiny_config,
+        policy=default_policies()[1],  # EnerAware: cheapest of the four
+        options=EngineOptions(engine=EngineCoreConfig(kind="event")),
+    )
+
+
+class TestCodecRoundTrip:
+    def test_engine_config_survives_the_wire(self, event_request):
+        decoded, fingerprint, _ = decode_request(
+            encode_request(event_request)
+        )
+        assert isinstance(decoded.options.engine, EngineCoreConfig)
+        assert decoded.options.engine.kind == "event"
+        assert fingerprint == event_request.fingerprint()
+
+    def test_engine_mode_is_part_of_the_fingerprint(self, tiny_config):
+        slot = RunRequest(
+            config=tiny_config, policy=default_policies()[1]
+        )
+        event = RunRequest(
+            config=tiny_config,
+            policy=default_policies()[1],
+            options=EngineOptions(
+                engine=EngineCoreConfig(kind="event")
+            ),
+        )
+        assert slot.fingerprint() != event.fingerprint()
+
+
+class TestServicePathIdentity:
+    def test_daemon_event_run_matches_local_slot_run(
+        self, client, event_request, tiny_config
+    ):
+        artifact = client.run(event_request)
+        local = SimulationEngine(
+            tiny_config, default_policies()[1]
+        ).run()
+        remote_bytes = json.dumps(
+            [record.to_dict() for record in artifact.result.slots],
+            sort_keys=True,
+        )
+        local_bytes = json.dumps(
+            [record.to_dict() for record in local.slots], sort_keys=True
+        )
+        assert remote_bytes == local_bytes
+        # The event driver's extra product crossed the wire too.
+        assert artifact.result.total_requests() > 0
+        assert artifact.result.p99_request_s() is not None
+
+    def test_headline_projection_carries_request_percentiles(
+        self, client, event_request
+    ):
+        client.run(event_request)  # warm the store
+        projected = client.run(event_request, detail="headline")
+        assert projected.result.total_requests() > 0
+        assert projected.result.p999_request_s() is not None
+
+
+class TestEngineModeVisibility:
+    def test_stats_and_health_count_decoded_modes(
+        self, daemon, client, event_request, tiny_requests
+    ):
+        client.run(event_request)
+        client.run(tiny_requests[0])
+        stats = daemon.stats()
+        assert stats["engine_modes"]["event"] == 1
+        assert stats["engine_modes"]["slot"] == 1
+        assert daemon.health()["engine_modes"] == stats["engine_modes"]
+
+    def test_fleet_status_reports_engine_modes(
+        self, daemon, client, event_request
+    ):
+        client.run(event_request)
+        fleet = FleetClient([daemon.url])
+        try:
+            (member,) = fleet.status()["fleet"]["members"]
+        finally:
+            fleet.close()
+        assert member["engine_modes"] == {"event": 1}

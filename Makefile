@@ -15,7 +15,10 @@
 #                      per-slot hot paths, the fleet-batched
 #                      slot-physics kernel (bench_green), the
 #                      discrete-event driver throughput + byte-identity
-#                      gate (bench_events -> BENCH_events.json) and the
+#                      gate (bench_events -> BENCH_events.json), the
+#                      campaign-ledger overhead gate (bench_suite:
+#                      1k-run warm sweep, suite <= 1.10x raw
+#                      submit_many -> BENCH_suite.json) and the
 #                      data-correlation generation (loop vs vectorized)
 #   make bench       - full benchmark harness (slow: one-week comparison)
 
@@ -34,7 +37,8 @@ bench-smoke:
 		benchmarks/bench_store.py benchmarks/bench_green.py \
 		benchmarks/bench_service.py benchmarks/bench_fleet.py \
 		benchmarks/bench_workload_cache.py benchmarks/bench_events.py \
-		-k "orchestrator or it_power or response_latencies or datacorr or store or green or service or fleet or workload or event_core" \
+		benchmarks/bench_suite.py \
+		-k "orchestrator or it_power or response_latencies or datacorr or store or green or service or fleet or workload or event_core or suite" \
 		--benchmark-min-rounds=3
 
 # Nightly follow-up to bench-smoke: compact the segment store the

@@ -1,0 +1,144 @@
+"""Suite-layer overhead gate: the campaign ledger must ride ~free.
+
+The suite layer wraps every run in manifest bookkeeping -- a plan
+record at expansion, a ``submitted`` record before execution and a
+``done`` record (with full provenance) after -- three flushed JSONL
+appends per fingerprint.  At million-run scale that bookkeeping must
+not tax the hot path, so this bench drives a **1k-run warm sweep**
+both ways and gates the ratio:
+
+* **baseline** -- expand the suite grid and resolve it through raw
+  ``submit_many``/``as_done`` (what a hand-rolled sweep script pays);
+* **suite** -- the same grid through :class:`CampaignDriver.run`,
+  which additionally writes the campaign header, 1k plan records and
+  2k status transitions.
+
+Every fingerprint is pre-seeded into the store, so both sides measure
+pure orchestration cost (fingerprinting, dedup, store lookups) -- the
+regime where ledger overhead is proportionally largest and the gate is
+hardest.  Required: suite/baseline <= ``MAX_OVERHEAD`` (1.10).
+
+``BENCH_suite.json`` lands in ``benchmarks/reports/`` for the nightly
+workflow's trajectory record.  Run via ``make bench-smoke``.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.experiments.orchestrator import Orchestrator, ResultStore
+from repro.suite import CampaignDriver, parse_suite
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+#: Grid size of the warm sweep (seeds x policies).
+RUNS = 1000
+
+#: Timed sweeps per side; the best repeat is scored.  The two sides
+#: are interleaved (baseline, suite, baseline, suite, ...) so clock
+#: drift over the bench lands on both sides, not just the later one,
+#: and enough repeats are taken that min-of-N sees through scheduler
+#: noise on shared CI runners.
+REPEATS = 9
+
+#: Required ceiling on suite wall time relative to raw submit_many.
+MAX_OVERHEAD = 1.10
+
+_SUITE = f"""
+[suite]
+name = "bench"
+description = "1k-run warm-overhead sweep"
+
+[matrix]
+scale = "tiny"
+horizon = 2
+seeds = {list(range(RUNS // 4))}
+"""
+
+
+@pytest.fixture(scope="module")
+def warm_world(tmp_path_factory):
+    """A parsed 1k-run spec plus a store holding every fingerprint."""
+    spec = parse_suite(_SUITE, "bench.toml")
+    runs = spec.expand()
+    assert len(runs) == RUNS
+    store = ResultStore(tmp_path_factory.mktemp("store"), backend="segment")
+    # One real tiny run supplies the result body; the sweep's identity
+    # lives in the fingerprints, which are the real grid's.
+    seed_artifact = Orchestrator(store=ResultStore()).run(runs[0].request)
+    for run in runs:
+        store.put(
+            run.fingerprint,
+            seed_artifact.result,
+            run.request.descriptor(),
+        )
+    return spec, store
+
+
+def _drain(orchestrator: Orchestrator, requests) -> int:
+    futures = orchestrator.submit_many(requests)
+    resolved = sum(1 for _ in orchestrator.as_done(futures))
+    return resolved
+
+
+def test_suite_ledger_overhead_within_bound(warm_world, tmp_path):
+    """A ledgered campaign costs <= 10% over raw submit_many, warm."""
+    spec, store = warm_world
+
+    def run_baseline() -> float:
+        orchestrator = Orchestrator(store=store)
+        gc.collect()
+        start = time.perf_counter()
+        requests = [run.request for run in spec.expand()]
+        resolved = _drain(orchestrator, requests)
+        elapsed = time.perf_counter() - start
+        assert resolved == RUNS
+        return elapsed
+
+    def run_suite(label: str) -> float:
+        orchestrator = Orchestrator(store=store)
+        driver = CampaignDriver(spec, orchestrator, tmp_path / label)
+        gc.collect()
+        start = time.perf_counter()
+        report = driver.run()
+        elapsed = time.perf_counter() - start
+        assert report.warm == RUNS and report.executed == 0
+        return elapsed
+
+    # Warm both code paths (imports, allocator, store page cache)
+    # before any timed repeat counts.
+    run_baseline()
+    run_suite("warmup")
+
+    baseline_s = float("inf")
+    suite_s = float("inf")
+    for repeat in range(REPEATS):
+        baseline_s = min(baseline_s, run_baseline())
+        suite_s = min(suite_s, run_suite(f"ledger-{repeat}"))
+
+    overhead = suite_s / baseline_s
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / "BENCH_suite.json").write_text(
+        json.dumps(
+            {
+                "runs": RUNS,
+                "baseline_s": baseline_s,
+                "suite_s": suite_s,
+                "overhead": overhead,
+                "max_overhead": MAX_OVERHEAD,
+                "runs_per_s_suite": RUNS / suite_s,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"suite ledger overhead {overhead:.3f}x exceeds the "
+        f"{MAX_OVERHEAD:.2f}x gate (baseline {baseline_s:.3f}s, "
+        f"suite {suite_s:.3f}s over {RUNS} warm runs)"
+    )

@@ -14,6 +14,11 @@ Commands
 * ``packs``      -- list the registered workload trace packs
 * ``serve``      -- run the shared experiment daemon (HTTP front-end
   over one orchestrator + store; see ``--service`` below)
+* ``suite``      -- declarative experiment suites: ``run SUITE.toml``
+  expands a ``[matrix]`` into a ledgered campaign and regenerates the
+  declared figures/tables from the store, ``resume`` continues an
+  interrupted campaign without re-executing store-verified work,
+  ``status`` renders per-campaign ledger progress
 * ``store``      -- result-store maintenance: ``ls``/``gc``/``migrate``
   /``compact`` documents by pack name, version, sha prefix and --
   for ``gc`` -- age/retention policy (``--older-than``,
@@ -112,6 +117,16 @@ from repro.store import (
     migrate_store,
     open_backend,
     parse_age,
+)
+from repro.suite import (
+    CampaignDriver,
+    CampaignError,
+    LedgerError,
+    OutputError,
+    SuiteSpecError,
+    campaign_status,
+    generate_outputs,
+    load_suite,
 )
 from repro.workload.packs import TracePack, available_packs, get_pack
 
@@ -542,6 +557,97 @@ def cmd_packs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _suite_ledger_root(args: argparse.Namespace) -> pathlib.Path:
+    """Where this suite campaign's ledger lives.
+
+    Defaults to the store root (the manifest sits next to the
+    documents it audits); ``--service`` runs have no local store, so
+    they name a ledger root explicitly with ``--ledger``.
+    """
+    root = args.ledger or args.store or os.environ.get(STORE_ENV_VAR)
+    if not root:
+        raise SystemExit(
+            "error: suite campaigns need a ledger root: pass --store DIR "
+            "(in-process) or --ledger DIR (with --service)"
+        )
+    return pathlib.Path(root)
+
+
+def _load_suite_or_exit(path: str):
+    try:
+        return load_suite(path)
+    except SuiteSpecError as error:
+        raise SystemExit(f"error: {error}") from None
+
+
+def _run_suite(args: argparse.Namespace, resume: bool) -> int:
+    spec = _load_suite_or_exit(args.spec)
+    consumer = _orchestrator_from(args)
+    driver = CampaignDriver(
+        spec,
+        consumer,
+        _suite_ledger_root(args),
+        echo=lambda line: print(line, file=sys.stderr),
+    )
+    try:
+        report = driver.run(resume=resume)
+    except (CampaignError, LedgerError) as error:
+        raise SystemExit(f"error: {error}") from None
+    print(report.summary())
+    if spec.has_outputs and not args.no_outputs:
+        out_dir = pathlib.Path(args.out or f"reports/suites/{spec.name}")
+        try:
+            written = generate_outputs(spec, consumer, out_dir)
+        except OutputError as error:
+            raise SystemExit(f"error: {error}") from None
+        print(f"wrote {len(written)} output file(s) under {out_dir}")
+    return 0
+
+
+def cmd_suite_run(args: argparse.Namespace) -> int:
+    """Execute a suite spec as a fresh campaign (plus its outputs)."""
+    return _run_suite(args, resume=False)
+
+
+def cmd_suite_resume(args: argparse.Namespace) -> int:
+    """Continue an interrupted campaign, skipping store-verified work."""
+    return _run_suite(args, resume=True)
+
+
+def cmd_suite_status(args: argparse.Namespace) -> int:
+    """Render per-campaign ledger progress (one line per campaign)."""
+    spec = _load_suite_or_exit(args.spec) if args.spec else None
+    root = _suite_ledger_root(args)
+    try:
+        states = campaign_status(root, spec)
+    except LedgerError as error:
+        raise SystemExit(f"error: {error}") from None
+    if not states:
+        print(f"no campaign ledgers under {root}")
+        return 1
+    print(
+        f"{'campaign':<28} {'done':>6} {'total':>6} {'failed':>6}  state"
+    )
+    all_complete = True
+    for state in states:
+        counts = state.counts()
+        if state.complete:
+            label = "complete"
+        elif counts["failed"]:
+            label = "failed"
+            all_complete = False
+        else:
+            label = "in progress"
+            all_complete = False
+        if state.torn_tail:
+            label += " (torn tail)"
+        print(
+            f"{state.campaign_id or '?':<28} {counts['done']:>6} "
+            f"{counts['total']:>6} {counts['failed']:>6}  {label}"
+        )
+    return 0 if all_complete else 1
+
+
 def _store_backend_from(args: argparse.Namespace):
     """Open the backend the ``repro store`` flags point at."""
     root = args.store or os.environ.get(STORE_ENV_VAR)
@@ -565,6 +671,7 @@ def _store_filters(args: argparse.Namespace) -> dict:
         "pack_version": args.pack_version,
         "sha": args.sha,
         "fingerprint": args.fingerprint,
+        "campaign": args.campaign,
     }
 
 
@@ -574,14 +681,15 @@ def cmd_store_ls(args: argparse.Namespace) -> int:
     rows = list_documents(backend, **_store_filters(args))
     print(
         f"{'fingerprint':<14} {'policy':<12} {'pack':<22} {'ver':>3}  "
-        f"{'pack sha256':<14} shard"
+        f"{'pack sha256':<14} {'shard':<14} campaign"
     )
     for info in rows:
         print(
             f"{info.fingerprint[:12]:<14} {info.policy or '-':<12} "
             f"{info.pack_name or '-':<22} "
             f"{info.pack_version if info.pack_version is not None else '-':>3}  "
-            f"{(info.pack_sha256 or '-')[:12]:<14} {info.shard or '-'}"
+            f"{(info.pack_sha256 or '-')[:12]:<14} {info.shard or '-':<14} "
+            f"{info.campaign or '-'}"
         )
     print(f"{len(rows)} document(s) [{backend.format} backend]")
     return 0
@@ -604,8 +712,8 @@ def cmd_store_gc(args: argparse.Namespace) -> int:
     if not args.all and not any(v is not None for v in filters.values()):
         raise SystemExit(
             "error: refusing to gc everything; pass a filter "
-            "(--pack/--pack-version/--sha/--fingerprint/--older-than/"
-            "--keep-latest) or --all"
+            "(--pack/--pack-version/--sha/--fingerprint/--campaign/"
+            "--older-than/--keep-latest) or --all"
         )
     backend = _store_backend_from(args)
     doomed = collect_garbage(backend, dry_run=args.dry_run, **filters)
@@ -869,6 +977,113 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_status.set_defaults(func=cmd_fleet_status)
 
+    suite = subparsers.add_parser(
+        "suite",
+        help="declarative experiment suites (run/resume/status)",
+    )
+    suite_sub = suite.add_subparsers(dest="suite_command", required=True)
+
+    def add_suite_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store",
+            default=None,
+            metavar="DIR",
+            help="persistent result-store root (default: "
+            "$REPRO_RESULT_STORE); the campaign ledger lives in its "
+            "campaigns/ subdirectory",
+        )
+        sub.add_argument(
+            "--store-backend",
+            default="auto",
+            choices=("auto", *KNOWN_FORMATS),
+            help="store layout for new roots (warm roots auto-detect)",
+        )
+        sub.add_argument(
+            "--service",
+            default=None,
+            metavar="URLS",
+            help="execute through 'repro serve' daemon(s): one URL, "
+            "URL1,URL2,... for a fleet, or @FILE (mutually exclusive "
+            "with --store; pair with --ledger)",
+        )
+        sub.add_argument(
+            "--ledger",
+            default=None,
+            metavar="DIR",
+            help="campaign-ledger root override (required with "
+            "--service, where no local store root exists)",
+        )
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for uncached runs (1 = serial)",
+        )
+        sub.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="recompute even when the result store has the runs",
+        )
+        sub.add_argument(
+            "--progress",
+            action=argparse.BooleanOptionalAction,
+            default=None,
+            help="stream completed/total run counts to stderr "
+            "(default: on when stderr is a TTY)",
+        )
+        sub.add_argument(
+            "--workload-cache",
+            type=int,
+            default=None,
+            metavar="N",
+            help="workload materializations kept warm per process",
+        )
+        sub.add_argument(
+            "--out",
+            default=None,
+            metavar="DIR",
+            help="output directory for declared figures/tables "
+            "(default: reports/suites/<suite-name>)",
+        )
+        sub.add_argument(
+            "--no-outputs",
+            action="store_true",
+            help="run the campaign but skip the output stage",
+        )
+
+    suite_run = suite_sub.add_parser(
+        "run", help="execute a suite spec as a campaign"
+    )
+    suite_run.add_argument("spec", help="suite spec (TOML)")
+    add_suite_common(suite_run)
+    suite_run.set_defaults(func=cmd_suite_run)
+
+    suite_resume = suite_sub.add_parser(
+        "resume",
+        help="continue an interrupted campaign (skips store-verified "
+        "fingerprints; zero re-execution)",
+    )
+    suite_resume.add_argument("spec", help="suite spec (TOML)")
+    add_suite_common(suite_resume)
+    suite_resume.set_defaults(func=cmd_suite_resume)
+
+    suite_status = suite_sub.add_parser(
+        "status", help="render per-campaign ledger progress"
+    )
+    suite_status.add_argument(
+        "spec", nargs="?", default=None,
+        help="suite spec (TOML); omit to list every campaign",
+    )
+    suite_status.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="store root whose campaigns/ directory holds the ledgers",
+    )
+    suite_status.add_argument(
+        "--ledger", default=None, metavar="DIR",
+        help="campaign-ledger root override",
+    )
+    suite_status.set_defaults(func=cmd_suite_status)
+
     store = subparsers.add_parser(
         "store", help="result-store maintenance (ls/gc/migrate/compact)"
     )
@@ -904,6 +1119,11 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--fingerprint", default=None, metavar="PREFIX",
             help="match documents whose run fingerprint starts with this",
+        )
+        sub.add_argument(
+            "--campaign", default=None, metavar="ID",
+            help="match documents stamped with this suite campaign id "
+            "(in-process suite runs stamp it into the meta envelope)",
         )
 
     store_ls = store_sub.add_parser("ls", help="list store documents")

@@ -549,6 +549,27 @@ class Orchestrator:
             workload_cache=self.workload_cache,
         )
 
+    def with_meta(self, extra: dict) -> "Orchestrator":
+        """This orchestrator's store and options with extra meta stamps.
+
+        Returns ``self`` when nothing would change.  The campaign
+        driver uses this to stamp every artifact a suite produces with
+        its campaign id (into the store-document meta envelope, never
+        the fingerprint), so ``repro store ls --campaign`` can list a
+        campaign's artifacts as a unit.
+        """
+        merged = {**self.meta, **extra}
+        if merged == self.meta:
+            return self
+        return Orchestrator(
+            store=self.store,
+            jobs=self.jobs,
+            use_store=self.use_store,
+            progress=self.progress,
+            meta=merged,
+            workload_cache=self.workload_cache,
+        )
+
     def _meta_for(self, request: RunRequest) -> dict:
         """The store-document meta for one run: derived labels + stamps."""
         meta = run_meta(request)

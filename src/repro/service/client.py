@@ -196,6 +196,11 @@ class HttpTransport:
         self.timeout_s = timeout_s
         self.compress = compress
         self.gzip_requests = False
+        # Merged into every request's headers; the campaign driver
+        # plants ``X-Repro-Campaign`` here so the daemon can count
+        # per-campaign submissions (old daemons ignore unknown
+        # headers, so this is wire-compatible both ways).
+        self.extra_headers: dict[str, str] = {}
         self._local = threading.local()
 
     def _connection(self, timeout_s: float) -> http.client.HTTPConnection:
@@ -247,7 +252,7 @@ class HttpTransport:
         :class:`ServiceUnavailable`.
         """
         timeout_s = self.timeout_s if timeout_s is None else timeout_s
-        headers = {"Content-Type": "application/json"}
+        headers = {"Content-Type": "application/json", **self.extra_headers}
         if self.compress:
             headers["Accept-Encoding"] = "gzip"
             if (
@@ -544,6 +549,44 @@ class ServiceClient:
     def with_jobs(self, jobs: int) -> "ServiceClient":
         """No-op for API compatibility: capacity is the daemon's."""
         return self
+
+    def with_meta(self, extra: dict) -> "ServiceClient":
+        """Orchestrator-surface meta stamping, service flavor.
+
+        Store-document meta belongs to the daemon (per-request meta
+        would complicate the dedup core), so only the campaign
+        identity crosses the wire -- as an ``X-Repro-Campaign``
+        header feeding the daemon's per-campaign ``/stats`` counters.
+        Daemons predating the header ignore it.
+        """
+        campaign = extra.get("campaign")
+        if campaign is not None:
+            self._transport.extra_headers["X-Repro-Campaign"] = str(
+                campaign
+            )
+        return self
+
+    def lookup(self, request, fingerprint: str) -> RunFuture | None:
+        """An already-resolved future for a daemon-store hit, else None.
+
+        The warm-only read behind suite resume verification and the
+        output stage: a non-blocking (``wait=0``) GET that never
+        triggers execution.  Mirrors
+        :meth:`repro.experiments.orchestrator.Orchestrator.lookup`.
+        """
+        self._ensure_negotiated()
+        path = self._poll_path(fingerprint, "full")
+        joiner = "&" if "?" in path else "?"
+        status, payload = self._request("GET", f"{path}{joiner}wait=0")
+        if status != 200 or payload.get("kind") != "run_artifact":
+            return None
+        try:
+            artifact = self._decode(fingerprint, payload)
+        except WireError:
+            return None
+        future: Future = Future()
+        future.set_result(artifact)
+        return RunFuture(request, fingerprint, future)
 
     def close(self) -> None:
         """Drop this thread's keep-alive connection (idempotent)."""

@@ -93,6 +93,25 @@ def rendezvous_member(fingerprint: str, member_keys: Sequence[str]) -> str:
     )
 
 
+def rendezvous_order(
+    fingerprint: str, member_keys: Sequence[str]
+) -> list[str]:
+    """Every member in failover order for ``fingerprint``.
+
+    The head is :func:`rendezvous_member`'s winner; dropping a dead
+    head leaves exactly the order the survivors would compute, which
+    is what makes walking this list a correct failover policy.
+    """
+    return sorted(
+        member_keys,
+        key=lambda key: (
+            hashlib.sha256(f"{key}|{fingerprint}".encode()).digest(),
+            key,
+        ),
+        reverse=True,
+    )
+
+
 def parse_fleet_spec(spec) -> list[str]:
     """Member URLs from a ``--service`` value.
 
@@ -442,6 +461,29 @@ class FleetClient:
     def with_jobs(self, jobs: int) -> "FleetClient":
         """No-op for API compatibility: capacity is the members'."""
         return self
+
+    def with_meta(self, extra: dict) -> "FleetClient":
+        """Forward meta stamps (the campaign header) to every member."""
+        for member in self._members.values():
+            member.client.with_meta(extra)
+        return self
+
+    def lookup(self, request, fingerprint: str) -> RunFuture | None:
+        """A warm-only store read, tried fleet-wide.
+
+        Members share one store root, so the rendezvous owner answers
+        first; a down owner fails over to the remaining members in
+        routing order (a miss on any live member is authoritative --
+        the store is shared).
+        """
+        alive = self._alive_keys()
+        for key in rendezvous_order(fingerprint, alive):
+            member = self._members[key]
+            try:
+                return member.client.lookup(request, fingerprint)
+            except ServiceUnavailable as error:
+                self._mark_down(key, error)
+        return None
 
     def close(self) -> None:
         """Drop every member's keep-alive connection (idempotent)."""

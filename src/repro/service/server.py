@@ -146,6 +146,9 @@ _GZIP_LEVEL = 6
 #: window, not a full history: the daemon is long-lived).
 _LATENCY_WINDOW = 4096
 
+#: Most-recent campaign ids kept in the per-campaign submission tally.
+_CAMPAIGN_WINDOW = 256
+
 
 class ExperimentDaemon:
     """One orchestrator served over HTTP to many clients.
@@ -202,6 +205,10 @@ class ExperimentDaemon:
         #: from the response cache without decoding, so these are
         #: "requests whose engine mode this daemon actually saw".
         self.engine_modes: dict[str, int] = {}
+        #: Submissions per campaign, from the ``X-Repro-Campaign``
+        #: header the suite driver sends.  Purely observational --
+        #: routing, dedup and the store ignore campaigns entirely.
+        self.campaigns: dict[str, int] = {}
         self.wire_counters = {
             "bytes_in": 0,
             "bytes_out": 0,
@@ -312,6 +319,22 @@ class ExperimentDaemon:
         with self._lock:
             self._latencies.append(seconds)
 
+    def _count_campaign(self, campaign: str | None, delta: int = 1) -> None:
+        """Tally submissions a suite driver labeled with a campaign id.
+
+        Bounded defensively: a daemon serving many one-off campaigns
+        keeps the newest :data:`_CAMPAIGN_WINDOW` ids rather than
+        growing without limit.
+        """
+        if not campaign:
+            return
+        with self._lock:
+            self.campaigns[campaign] = (
+                self.campaigns.get(campaign, 0) + delta
+            )
+            while len(self.campaigns) > _CAMPAIGN_WINDOW:
+                self.campaigns.pop(next(iter(self.campaigns)))
+
     def _record_sent(self, nbytes: int, encoding: str) -> None:
         with self._lock:
             self.wire_counters["bytes_out"] += nbytes
@@ -399,6 +422,7 @@ class ExperimentDaemon:
         payload: dict,
         detail: str | None = None,
         encoding: str = "identity",
+        campaign: str | None = None,
     ) -> tuple[int, bytes, str]:
         """``POST /runs`` (and one batch entry): ``(status, body, enc)``.
 
@@ -407,8 +431,11 @@ class ExperimentDaemon:
         ``encoding`` is what the rendered artifact body should use --
         error and pending replies are always identity (they are tiny,
         and per-line gzip wrapping is the batch assembler's job).
+        ``campaign`` is the submitter's ``X-Repro-Campaign`` label,
+        tallied into the ``/stats`` campaigns block.
         """
         self._count("submitted")
+        self._count_campaign(campaign)
         if not isinstance(payload, dict):
             return 400, _dumps(
                 encode_error("expected a JSON object body", status=400)
@@ -517,7 +544,10 @@ class ExperimentDaemon:
         ), "identity"
 
     def handle_batch(
-        self, payload: dict, encoding: str = "identity"
+        self,
+        payload: dict,
+        encoding: str = "identity",
+        campaign: str | None = None,
     ) -> tuple[int, bytes, str]:
         """``POST /runs/batch``: one disposition line per entry.
 
@@ -536,7 +566,7 @@ class ExperimentDaemon:
         parts = []
         for entry in entries:
             _, body, used = self.handle_submit(
-                entry, detail=detail, encoding=encoding
+                entry, detail=detail, encoding=encoding, campaign=campaign
             )
             parts.append(_as_member(body, used, encoding))
         return 200, b"".join(parts), encoding
@@ -769,6 +799,7 @@ class ExperimentDaemon:
         with self._lock:
             counters = dict(self.counters)
             wire = dict(self.wire_counters)
+            campaigns = dict(self.campaigns)
             latencies = sorted(self._latencies)
         wire["request_p50_ms"] = _percentile_ms(latencies, 50.0)
         wire["request_p99_ms"] = _percentile_ms(latencies, 99.0)
@@ -786,6 +817,7 @@ class ExperimentDaemon:
             "wire": wire,
             "workload_cache": self.orchestrator.workload_cache_stats(),
             "engine_modes": self._engine_mode_counts(),
+            "campaigns": campaigns,
             **counters,
         }
 
@@ -1091,13 +1123,16 @@ def _build_handler(daemon: ExperimentDaemon) -> type:
             if payload is None:
                 return
             encoding = "gzip" if self._wants_gzip() else "identity"
+            campaign = self.headers.get("X-Repro-Campaign")
             if path == "/runs":
                 status, body, used = daemon.handle_submit(
-                    payload, encoding=encoding
+                    payload, encoding=encoding, campaign=campaign
                 )
                 self._reply(status, body, encoding=used)
             elif path == "/runs/batch":
-                status, body, used = daemon.handle_batch(payload, encoding)
+                status, body, used = daemon.handle_batch(
+                    payload, encoding, campaign=campaign
+                )
                 self._reply(status, body, encoding=used)
             else:
                 try:

@@ -68,6 +68,7 @@ class DocumentInfo:
     pack_version: int | None
     pack_sha256: str | None
     shard: str | None
+    campaign: str | None = None
 
     @classmethod
     def from_document(cls, fingerprint: str, document: dict) -> "DocumentInfo":
@@ -83,6 +84,7 @@ class DocumentInfo:
             pack_version=pack.get("version", meta_pack.get("version")),
             pack_sha256=pack.get("sha256", meta_pack.get("sha256")),
             shard=meta.get("shard"),
+            campaign=meta.get("campaign"),
         )
 
 
@@ -92,9 +94,15 @@ def matches(
     pack_version: int | None = None,
     sha: str | None = None,
     fingerprint: str | None = None,
+    campaign: str | None = None,
 ) -> bool:
     """Whether a document matches every given filter (AND semantics)."""
     if pack is not None and info.pack_name != pack:
+        return False
+    if campaign is not None and info.campaign != campaign:
+        # Like pack-name filters, campaign labels live in the meta
+        # envelope: only artifacts an in-process suite run stamped
+        # match (service-path artifacts are audited via the ledger).
         return False
     if pack_version is not None and info.pack_version != pack_version:
         return False

@@ -1,0 +1,162 @@
+"""Campaign driver semantics: run/resume/refusals and provenance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.orchestrator import Orchestrator, ResultStore
+from repro.suite import (
+    CampaignDriver,
+    CampaignError,
+    CampaignLedger,
+    code_sha,
+    parse_suite,
+)
+
+from repro.suite.ledger import CAMPAIGNS_DIR
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store", backend="segment")
+
+
+def driver_for(spec, store, root):
+    return CampaignDriver(spec, Orchestrator(store=store), root)
+
+
+def test_fresh_run_executes_everything(mini_spec, store, tmp_path):
+    report = driver_for(mini_spec, store, tmp_path / "store").run()
+    assert report.total == 4
+    assert report.executed == 4
+    assert report.skipped == 0 and report.warm == 0 and report.failed == 0
+    state = CampaignLedger.for_store(
+        tmp_path / "store", mini_spec.campaign_id
+    ).replay()
+    assert state.complete
+    assert state.counts()["done"] == 4
+
+
+def test_done_entries_carry_full_provenance(mini_spec, store, tmp_path):
+    """Acceptance: every artifact's ledger entry names what made it."""
+    driver_for(mini_spec, store, tmp_path / "store").run()
+    state = CampaignLedger.for_store(
+        tmp_path / "store", mini_spec.campaign_id
+    ).replay()
+    expected_code = code_sha()
+    by_fp = {run.fingerprint: run for run in mini_spec.expand()}
+    assert set(state.status) == set(by_fp)
+    for fingerprint, record in state.status.items():
+        run = by_fp[fingerprint]
+        assert record["status"] == "done"
+        assert record["suite_sha"] == mini_spec.sha256
+        assert record["code_sha"] == expected_code
+        assert record["pack_sha"] == run.request.pack.sha256
+        assert record["daemon"] == "local"
+        assert record["engine"] == run.labels["engine"]
+        assert record["source"] == "computed"
+        assert record["elapsed_s"] >= 0.0
+
+
+def test_rerun_of_complete_campaign_skips_everything(
+    mini_spec, store, tmp_path
+):
+    driver_for(mini_spec, store, tmp_path / "store").run()
+    report = driver_for(mini_spec, store, tmp_path / "store").run()
+    assert report.skipped == 4
+    assert report.executed == 0 and report.warm == 0
+
+
+def test_run_refuses_interrupted_ledger(mini_spec, store, tmp_path):
+    ledger = CampaignLedger.for_store(
+        tmp_path / "store", mini_spec.campaign_id
+    )
+    with ledger:
+        ledger.append(
+            {
+                "type": "campaign",
+                "campaign": mini_spec.campaign_id,
+                "suite_sha": mini_spec.sha256,
+            }
+        )
+        ledger.append(
+            {
+                "type": "plan",
+                "fingerprint": mini_spec.expand()[0].fingerprint,
+            }
+        )
+    with pytest.raises(CampaignError, match="repro suite resume"):
+        driver_for(mini_spec, store, tmp_path / "store").run()
+
+
+def test_resume_refuses_missing_ledger(mini_spec, store, tmp_path):
+    with pytest.raises(CampaignError, match="nothing to resume"):
+        driver_for(mini_spec, store, tmp_path / "store").run(resume=True)
+
+
+def test_suite_sha_mismatch_refused(store, tmp_path, mini_spec):
+    """A hand-renamed ledger from another suite version is refused."""
+    driver_for(mini_spec, store, tmp_path / "store").run()
+    edited = parse_suite(
+        mini_spec.raw + "\n# edited\n", mini_spec.path
+    )
+    ledger_dir = tmp_path / "store" / CAMPAIGNS_DIR
+    old = ledger_dir / f"{mini_spec.campaign_id}.jsonl"
+    old.rename(ledger_dir / f"{edited.campaign_id}.jsonl")
+    with pytest.raises(CampaignError, match="suite sha"):
+        driver_for(edited, store, tmp_path / "store").run()
+
+
+def test_resume_reexecutes_when_store_lost(mini_spec, store, tmp_path):
+    """Ledger-done is only a hint: a GC'd store must re-execute."""
+    driver_for(mini_spec, store, tmp_path / "store").run()
+    # Simulate a lost store root (ledger survives).
+    fresh = ResultStore(tmp_path / "other-store", backend="segment")
+    report = CampaignDriver(
+        mini_spec, Orchestrator(store=fresh), tmp_path / "store"
+    ).run(resume=True)
+    assert report.skipped == 0
+    assert report.executed == 4
+
+
+def test_warm_runs_counted_separately(mini_spec, store, tmp_path):
+    """Store hits without ledger-done records count as warm, not skips."""
+    orchestrator = Orchestrator(store=store)
+    for run in mini_spec.expand():
+        orchestrator.run(run.request)
+    report = driver_for(mini_spec, store, tmp_path / "store").run()
+    assert report.warm == 4
+    assert report.executed == 0 and report.skipped == 0
+
+
+def test_failed_runs_raise_and_ledger_failed(mini_spec, store, tmp_path):
+    class Exploding:
+        """Consumer whose futures all fail."""
+
+        def __init__(self, inner):
+            self.inner = inner
+
+        def submit_many(self, requests):
+            return self.inner.submit_many(requests)
+
+        def as_done(self, futures):
+            import concurrent.futures
+
+            for future in self.inner.as_done(futures):
+                broken = concurrent.futures.Future()
+                broken.set_exception(RuntimeError("daemon lost"))
+                future._future = broken
+                yield future
+
+        def lookup(self, request, fingerprint):
+            return self.inner.lookup(request, fingerprint)
+
+    consumer = Exploding(Orchestrator(store=store))
+    driver = CampaignDriver(mini_spec, consumer, tmp_path / "store")
+    with pytest.raises(CampaignError, match="4 run\\(s\\) failed"):
+        driver.run()
+    state = CampaignLedger.for_store(
+        tmp_path / "store", mini_spec.campaign_id
+    ).replay()
+    assert len(state.fingerprints("failed")) == 4
+    assert "daemon lost" in next(iter(state.status.values()))["error"]

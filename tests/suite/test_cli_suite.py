@@ -1,0 +1,182 @@
+"""The ``repro suite`` CLI surface and ``store ls --campaign``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.suite import CampaignLedger, load_suite
+
+SUITE = """
+[suite]
+name = "clidrill"
+description = "CLI drill"
+
+[matrix]
+scale = "tiny"
+horizon = 2
+seeds = [0]
+policies = ["Proposed", "Ener-aware", "Pri-aware", "Net-aware"]
+
+[outputs]
+figures = [1]
+tables = [1]
+"""
+
+
+@pytest.fixture
+def suite_file(tmp_path):
+    path = tmp_path / "clidrill.toml"
+    path.write_text(SUITE)
+    return path
+
+
+def test_suite_run_executes_and_writes_outputs(
+    suite_file, tmp_path, capsys
+):
+    store = tmp_path / "store"
+    out = tmp_path / "out"
+    code = main(
+        [
+            "suite", "run", str(suite_file),
+            "--store", str(store), "--out", str(out),
+        ]
+    )
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "4 executed" in stdout
+    assert (out / "synthetic-slot" / "fig1.txt").exists()
+    assert (out / "synthetic-slot" / "table1.txt").exists()
+    assert (out / "MANIFEST.json").exists()
+
+    spec = load_suite(suite_file)
+    state = CampaignLedger.for_store(store, spec.campaign_id).replay()
+    assert state.complete
+
+
+def test_suite_rerun_is_idempotent(suite_file, tmp_path, capsys):
+    store = tmp_path / "store"
+    argv = [
+        "suite", "run", str(suite_file),
+        "--store", str(store), "--no-outputs",
+    ]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv) == 0
+    stdout = capsys.readouterr().out
+    assert "4 skipped" in stdout and "0 executed" in stdout
+
+
+def test_suite_resume_without_ledger_fails(suite_file, tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main(
+            [
+                "suite", "resume", str(suite_file),
+                "--store", str(tmp_path / "store"), "--no-outputs",
+            ]
+        )
+    assert "nothing to resume" in str(excinfo.value)
+
+
+def test_suite_requires_a_ledger_location(suite_file, monkeypatch):
+    monkeypatch.delenv("REPRO_RESULT_STORE", raising=False)
+    with pytest.raises(SystemExit) as excinfo:
+        main(["suite", "run", str(suite_file)])
+    assert "--store" in str(excinfo.value)
+
+
+def test_suite_status_renders_progress(suite_file, tmp_path, capsys):
+    store = tmp_path / "store"
+    # No ledgers yet: status exits nonzero.
+    assert main(["suite", "status", "--store", str(store)]) == 1
+    capsys.readouterr()
+    main(
+        [
+            "suite", "run", str(suite_file),
+            "--store", str(store), "--no-outputs",
+        ]
+    )
+    capsys.readouterr()
+    assert main(["suite", "status", "--store", str(store)]) == 0
+    stdout = capsys.readouterr().out
+    assert "clidrill-" in stdout
+    assert "complete" in stdout
+
+
+def test_spec_errors_exit_with_location(tmp_path):
+    path = tmp_path / "broken.toml"
+    path.write_text('[suite]\nname = "x"\n[matrix]\nseeds = []\n')
+    with pytest.raises(SystemExit) as excinfo:
+        main(
+            [
+                "suite", "run", str(path),
+                "--store", str(tmp_path / "store"),
+            ]
+        )
+    message = str(excinfo.value)
+    assert "[matrix].seeds" in message and "broken.toml:4" in message
+
+
+def test_store_ls_filters_by_campaign(suite_file, tmp_path, capsys):
+    store = tmp_path / "store"
+    main(
+        [
+            "suite", "run", str(suite_file),
+            "--store", str(store), "--no-outputs",
+        ]
+    )
+    capsys.readouterr()
+    spec = load_suite(suite_file)
+
+    assert main(["store", "ls", "--store", str(store)]) == 0
+    everything = capsys.readouterr().out
+    assert spec.campaign_id in everything
+
+    assert (
+        main(
+            [
+                "store", "ls", "--store", str(store),
+                "--campaign", spec.campaign_id,
+            ]
+        )
+        == 0
+    )
+    filtered = capsys.readouterr().out
+    assert filtered.count(spec.campaign_id) >= 4
+
+    assert (
+        main(
+            [
+                "store", "ls", "--store", str(store),
+                "--campaign", "no-such-campaign",
+            ]
+        )
+        == 0
+    )
+    assert "0 document(s)" in capsys.readouterr().out
+
+
+def test_store_gc_collects_a_campaign_as_a_unit(
+    suite_file, tmp_path, capsys
+):
+    store = tmp_path / "store"
+    main(
+        [
+            "suite", "run", str(suite_file),
+            "--store", str(store), "--no-outputs",
+        ]
+    )
+    capsys.readouterr()
+    spec = load_suite(suite_file)
+
+    argv = [
+        "store", "gc", "--store", str(store),
+        "--campaign", spec.campaign_id,
+    ]
+    assert main(argv + ["--dry-run"]) == 0
+    assert "would delete 4 document(s)" in capsys.readouterr().out
+    assert main(argv) == 0
+    assert "deleted 4 document(s)" in capsys.readouterr().out
+
+    assert main(["store", "ls", "--store", str(store)]) == 0
+    assert "0 document(s)" in capsys.readouterr().out

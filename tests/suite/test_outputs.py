@@ -1,0 +1,66 @@
+"""Output stage: figures/tables regenerate purely from the store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.orchestrator import Orchestrator, ResultStore
+from repro.suite import CampaignDriver, OutputError, generate_outputs
+
+
+@pytest.fixture
+def completed(mini_spec, tmp_path):
+    store = ResultStore(tmp_path / "store", backend="segment")
+    CampaignDriver(
+        mini_spec, Orchestrator(store=store), tmp_path / "store"
+    ).run()
+    return mini_spec, store
+
+
+def test_outputs_regenerate_from_store_only(completed, tmp_path):
+    spec, store = completed
+    out = tmp_path / "out"
+    # A consumer that refuses to execute proves store purity: lookup
+    # resolves everything, submit_many would explode.
+    class LookupOnly:
+        def __init__(self, inner):
+            self.inner = inner
+
+        def lookup(self, request, fingerprint):
+            return self.inner.lookup(request, fingerprint)
+
+        def submit_many(self, requests):
+            raise AssertionError("output stage must never execute runs")
+
+    files = generate_outputs(
+        spec, LookupOnly(Orchestrator(store=store)), out
+    )
+    names = {f.rsplit("/", 1)[-1] for f in files}
+    assert {"fig1.txt", "fig2.txt", "table1.txt", "MANIFEST.json"} <= names
+    assert (out / "synthetic-slot" / "fig1.txt").read_text().strip()
+
+    manifest = json.loads((out / "MANIFEST.json").read_text())
+    assert manifest["suite"] == spec.name
+    assert manifest["suite_sha"] == spec.sha256
+    assert manifest["campaign"] == spec.campaign_id
+    cell = manifest["cells"]["synthetic-slot"]
+    expanded = {r.fingerprint for r in spec.expand()}
+    assert set(cell["fingerprints"].values()) <= expanded
+
+
+def test_missing_artifact_is_an_error(mini_spec, tmp_path):
+    store = ResultStore(tmp_path / "empty-store", backend="segment")
+    with pytest.raises(OutputError, match="run the campaign first"):
+        generate_outputs(
+            mini_spec, Orchestrator(store=store), tmp_path / "out"
+        )
+
+
+def test_export_writes_csvs(completed, tmp_path):
+    spec, store = completed
+    out = tmp_path / "out"
+    files = generate_outputs(spec, Orchestrator(store=store), out)
+    csvs = [f for f in files if f.endswith(".csv")]
+    assert csvs, "export = true must produce CSV files"
